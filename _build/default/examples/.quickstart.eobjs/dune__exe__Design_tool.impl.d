@@ -1,0 +1,1 @@
+examples/design_tool.ml: Change Database Format History List Merge Oid Option Printf Prop Schema_graph String Tse_core Tse_db Tse_schema Tse_store Tse_views Tsem Type_info Value View_schema

@@ -1,0 +1,1 @@
+examples/evolution_audit.ml: Change Database Evolution_trace History List Printf Random_schema String Tse_core Tse_db Tse_schema Tse_views Tse_workload Tsem Verify View_schema

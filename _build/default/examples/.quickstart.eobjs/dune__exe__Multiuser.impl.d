@@ -1,0 +1,1 @@
+examples/multiuser.ml: Change Database Format Impact List Occ Printf Tse_concurrency Tse_core Tse_db Tse_query Tse_schema Tse_store Tse_views Tse_workload Tsem Value View_schema

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Change Database Format History List Oid Printf String Tse_core Tse_db Tse_schema Tse_store Tse_update Tse_views Tse_workload Tsem Value View_schema

@@ -1,0 +1,1 @@
+examples/version_merge.ml: Change Database Format List Merge Oid Option Printf Schema_graph String Tse_core Tse_db Tse_schema Tse_store Tse_views Tse_workload Tsem Type_info Value View_schema

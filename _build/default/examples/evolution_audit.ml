@@ -1,0 +1,71 @@
+(* A longitudinal evolution audit — reproducing the flavour of the
+   schema-evolution measurements the paper cites (Sjøberg's 18-month
+   study [26], Marche's stability study [12]) on the TSE system itself.
+
+   A synthetic 18-month change trace, calibrated to the cited growth
+   ratios, is replayed through the TSEM against one continuously-evolving
+   view, while a second "legacy" view is left untouched. The audit prints
+   a month-by-month ledger and verifies at the end that the legacy view
+   never moved and every historical version is still served.
+
+   Run with: dune exec examples/evolution_audit.exe *)
+
+open Tse_db
+open Tse_views
+open Tse_core
+open Tse_workload
+
+let () =
+  let initial_classes = 10 and initial_attrs = 30 in
+  let rs = Random_schema.generate ~seed:2026 ~classes:initial_classes ~objects:60 () in
+  let db = rs.db in
+  let tsem = Tsem.of_database db in
+  let names = Random_schema.class_names rs in
+  ignore (Tsem.define_view_by_names tsem ~name:"dev" names);
+  ignore
+    (Tsem.define_view_by_names tsem ~name:"legacy"
+       (List.filteri (fun i _ -> i mod 2 = 0) names));
+  let legacy_before = Verify.view_fingerprint db (Tsem.current tsem "legacy") in
+
+  let trace =
+    Evolution_trace.generate ~seed:2026 ~months:18 ~initial_classes ~initial_attrs
+  in
+  let summary = Evolution_trace.summarize trace in
+  Printf.printf
+    "trace: %d changes over %d months (add-attr %d, del-attr %d, add-class %d, add-method %d)\n\n"
+    summary.total summary.months summary.adds_attribute
+    summary.deletes_attribute summary.adds_class summary.adds_method;
+
+  Printf.printf "%5s %9s %9s %9s %10s %8s\n" "month" "applied" "rejected"
+    "classes" "view-ver" "objects";
+  let applied = ref 0 and rejected = ref 0 in
+  for month = 1 to 18 do
+    List.iter
+      (fun (m, change) ->
+        if m = month then
+          match Tsem.evolve tsem ~view:"dev" change with
+          | _ -> incr applied
+          | exception Change.Rejected _ -> incr rejected)
+      trace;
+    Printf.printf "%5d %9d %9d %9d %10d %8d\n" month !applied !rejected
+      (Tse_schema.Schema_graph.size (Database.graph db))
+      (Tsem.current tsem "dev").View_schema.version
+      (Database.object_count db)
+  done;
+
+  let cg, ag, ac =
+    Evolution_trace.ratios summary ~initial_classes ~initial_attrs
+  in
+  Printf.printf
+    "\ngrowth vs the cited studies: classes +%.0f%% (paper: 139%%), attrs +%.0f%% (paper: 274%%), changed %.0f%% (paper: 59%%)\n"
+    (cg *. 100.) (ag *. 100.) (ac *. 100.);
+
+  (* the guarantees that make this sustainable *)
+  let legacy_after = Verify.view_fingerprint db (Tsem.current tsem "legacy") in
+  Printf.printf "\nlegacy view untouched after 18 months of churn: %b\n"
+    (String.equal legacy_before legacy_after);
+  let versions = History.versions (Tsem.history tsem) "dev" in
+  Printf.printf "historical versions still served: %d\n" (List.length versions);
+  Printf.printf "final view updatable (Theorem 1): %b\n"
+    (Verify.all_updatable db (Tsem.current tsem "dev"));
+  Printf.printf "database consistent: %b\n" (Database.check db = [])

@@ -1,0 +1,62 @@
+(* Quickstart: the paper's running example (Figures 2, 3 and 7).
+
+   A shared university database; a developer owns a personal view; she
+   adds an attribute to it; her view evolves, everyone else's keeps
+   working, and all programs still share the same objects.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Tse_store
+open Tse_db
+open Tse_views
+open Tse_core
+
+let () =
+  (* 1. The shared global schema (Figure 2) with some data. *)
+  let uni = Tse_workload.University.build () in
+  let db = uni.db in
+  let tsem = Tsem.of_database db in
+  let ada =
+    Database.create_object db uni.student
+      ~init:[ ("name", Value.String "ada"); ("age", Value.Int 24);
+              ("gpa", Value.Float 3.9) ]
+  in
+  (* 2. Two developers define personal views over the shared schema. *)
+  let mine = Tsem.define_view_by_names tsem ~name:"mine" [ "Person"; "Student"; "TA" ] in
+  let theirs =
+    Tsem.define_view_by_names tsem ~name:"theirs" [ "Person"; "Student"; "Grad" ]
+  in
+  Printf.printf "my view (version %d): %s\n" mine.View_schema.version
+    (String.concat ", " (List.filter_map (View_schema.local_name mine) (View_schema.classes mine)));
+  (* 3. New requirements: each student should carry register information.
+        I specify the change on MY view — no coordination meetings. *)
+  let mine' =
+    Tsem.evolve tsem ~view:"mine"
+      (Change.Add_attribute { cls = "Student"; def = Change.attr "register" Value.TBool })
+  in
+  Printf.printf "my view evolved to version %d\n" mine'.View_schema.version;
+  (* 4. Transparency: I still call the class "Student" and it now has the
+        attribute; I can store data in it right away. *)
+  let my_student = View_schema.cid_of_exn mine' "Student" in
+  Database.set_attr db ada "register" (Value.Bool true);
+  Format.printf "ada.register = %a (through my view)@." Value.pp
+    (Database.get_prop db ada "register");
+  (* 5. Nobody else noticed: the other developer's view is bit-identical,
+        and their programs keep reading the same shared object. *)
+  let their_student = View_schema.cid_of_exn theirs "Student" in
+  Printf.printf "their Student still has no register attribute: %b\n"
+    (not (Tse_schema.Type_info.has_prop (Database.graph db) their_student "register"));
+  Format.printf "their program reads the same ada: name = %a@." Value.pp
+    (Database.get_prop db ada "name");
+  (* 6. Interop: a program on MY view creates a student; THEIRS sees it. *)
+  let bob =
+    Tse_update.Generic.create db my_student
+      ~init:[ ("name", Value.String "bob"); ("register", Value.Bool false) ]
+  in
+  Printf.printf "bob (created through my evolved view) visible to them: %b\n"
+    (Oid.Set.mem bob (Database.extent db their_student));
+  (* 7. The old version of my own view is still registered, so my old
+        programs keep running too. *)
+  Printf.printf "view versions on record for 'mine': %d\n"
+    (List.length (History.versions (Tsem.history tsem) "mine"));
+  Printf.printf "database consistent: %b\n" (Database.check db = [])

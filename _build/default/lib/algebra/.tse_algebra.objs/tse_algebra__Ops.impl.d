@@ -1,0 +1,1 @@
+lib/algebra/ops.ml: Format Hashtbl List Printf Tse_classifier Tse_db Tse_schema Tse_store

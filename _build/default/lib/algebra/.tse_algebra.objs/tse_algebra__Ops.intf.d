@@ -1,0 +1,1 @@
+lib/algebra/ops.mli: Tse_db Tse_schema

@@ -1,0 +1,1 @@
+lib/algebra/surface.ml: Format List Ops Printf String Tse_schema Tse_store

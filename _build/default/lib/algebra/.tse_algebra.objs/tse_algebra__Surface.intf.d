@@ -1,0 +1,1 @@
+lib/algebra/surface.mli: Ops Tse_db Tse_schema

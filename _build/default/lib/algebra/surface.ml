@@ -1,0 +1,383 @@
+module Value = Tse_store.Value
+module Oid = Tse_store.Oid
+module Expr = Tse_schema.Expr
+module Prop = Tse_schema.Prop
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string  (** lowercase-ish: attributes, keywords *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | OP of string  (** = <> < <= > >= + - * / ^ *)
+  | EOF
+
+let keywords =
+  [ "select"; "from"; "where"; "hide"; "refine"; "for"; "union"; "intersect";
+    "difference"; "and"; "or"; "not"; "true"; "false"; "null"; "self";
+    "in_class"; "isnull"; "if"; "then"; "else"; "defineVC"; "as" ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' ->
+        emit LPAREN;
+        go (i + 1)
+      | ')' ->
+        emit RPAREN;
+        go (i + 1)
+      | ',' ->
+        emit COMMA;
+        go (i + 1)
+      | ':' ->
+        emit COLON;
+        go (i + 1)
+      | '"' ->
+        let j =
+          try String.index_from input (i + 1) '"'
+          with Not_found -> parse_error "unterminated string at %d" i
+        in
+        emit (STRING (String.sub input (i + 1) (j - i - 1)));
+        go (j + 1)
+      | '<' when i + 1 < n && input.[i + 1] = '>' ->
+        emit (OP "<>");
+        go (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (OP "<=");
+        go (i + 2)
+      | '>' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (OP ">=");
+        go (i + 2)
+      | ('=' | '<' | '>' | '+' | '-' | '*' | '/' | '^') as c ->
+        emit (OP (String.make 1 c));
+        go (i + 1)
+      | c when c >= '0' && c <= '9' ->
+        let j = ref i in
+        let dotted = ref false in
+        while
+          !j < n
+          && ((input.[!j] >= '0' && input.[!j] <= '9')
+             || (input.[!j] = '.' && not !dotted))
+        do
+          if input.[!j] = '.' then dotted := true;
+          incr j
+        done;
+        let lit = String.sub input i (!j - i) in
+        if !dotted then emit (FLOAT (float_of_string lit))
+        else emit (INT (int_of_string lit));
+        go !j
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        emit (IDENT (String.sub input i (!j - i)));
+        go !j
+      | c -> parse_error "unexpected character %C at %d" c i
+  in
+  go 0;
+  List.rev (EOF :: !tokens)
+
+(* ---------------- token stream ---------------- *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let token_str = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | COLON -> ":"
+  | OP s -> s
+  | EOF -> "<eof>"
+
+let expect st tok =
+  if peek st = tok then advance st
+  else parse_error "expected %s, found %s" (token_str tok) (token_str (peek st))
+
+let expect_ident st kw =
+  match peek st with
+  | IDENT s when String.equal s kw -> advance st
+  | t -> parse_error "expected %s, found %s" kw (token_str t)
+
+let any_ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> parse_error "expected an identifier, found %s" (token_str t)
+
+(* ---------------- expression parser ---------------- *)
+
+(* precedence: or < and < cmp < concat < add < mul < unary *)
+let rec parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | IDENT "or" ->
+    advance st;
+    Expr.Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_not st in
+  match peek st with
+  | IDENT "and" ->
+    advance st;
+    Expr.And (left, parse_and st)
+  | _ -> left
+
+(* [not] binds looser than comparison: [not age < 10] = [not (age < 10)] *)
+and parse_not st =
+  match peek st with
+  | IDENT "not" ->
+    advance st;
+    Expr.Not (parse_not st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let left = parse_concat st in
+  match peek st with
+  | OP "=" ->
+    advance st;
+    Expr.Cmp (Expr.Eq, left, parse_concat st)
+  | OP "<>" ->
+    advance st;
+    Expr.Cmp (Expr.Ne, left, parse_concat st)
+  | OP "<" ->
+    advance st;
+    Expr.Cmp (Expr.Lt, left, parse_concat st)
+  | OP "<=" ->
+    advance st;
+    Expr.Cmp (Expr.Le, left, parse_concat st)
+  | OP ">" ->
+    advance st;
+    Expr.Cmp (Expr.Gt, left, parse_concat st)
+  | OP ">=" ->
+    advance st;
+    Expr.Cmp (Expr.Ge, left, parse_concat st)
+  | _ -> left
+
+and parse_concat st =
+  let left = parse_add st in
+  match peek st with
+  | OP "^" ->
+    advance st;
+    Expr.Concat (left, parse_concat st)
+  | _ -> left
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | OP "+" ->
+      advance st;
+      loop (Expr.Arith (Expr.Add, left, parse_mul st))
+    | OP "-" ->
+      advance st;
+      loop (Expr.Arith (Expr.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | OP "*" ->
+      advance st;
+      loop (Expr.Arith (Expr.Mul, left, parse_unary st))
+    | OP "/" ->
+      advance st;
+      loop (Expr.Arith (Expr.Div, left, parse_unary st))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st = parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | INT i ->
+    advance st;
+    Expr.Const (Value.Int i)
+  | FLOAT f ->
+    advance st;
+    Expr.Const (Value.Float f)
+  | STRING s ->
+    advance st;
+    Expr.Const (Value.String s)
+  | IDENT "true" ->
+    advance st;
+    Expr.Const (Value.Bool true)
+  | IDENT "false" ->
+    advance st;
+    Expr.Const (Value.Bool false)
+  | IDENT "null" ->
+    advance st;
+    Expr.Const Value.Null
+  | IDENT "self" ->
+    advance st;
+    Expr.Self
+  | IDENT "in_class" ->
+    advance st;
+    expect st LPAREN;
+    let name = any_ident st in
+    expect st RPAREN;
+    Expr.In_class name
+  | IDENT "isnull" ->
+    advance st;
+    expect st LPAREN;
+    let e = parse_or st in
+    expect st RPAREN;
+    Expr.Is_null e
+  | IDENT "if" ->
+    advance st;
+    let c = parse_or st in
+    expect_ident st "then";
+    let t = parse_or st in
+    expect_ident st "else";
+    let e = parse_or st in
+    Expr.If (c, t, e)
+  | IDENT name when not (List.mem name keywords) ->
+    advance st;
+    Expr.Attr name
+  | LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st RPAREN;
+    e
+  | t -> parse_error "unexpected %s in expression" (token_str t)
+
+(* ---------------- query parser ---------------- *)
+
+let parse_ty = function
+  | "int" -> Value.TInt
+  | "float" -> Value.TFloat
+  | "string" -> Value.TString
+  | "bool" -> Value.TBool
+  | other -> parse_error "unknown attribute type %s" other
+
+(* property definitions for refine: name : type, ... or name = expr, ... *)
+let rec parse_prop_defs st acc =
+  let name = any_ident st in
+  let def =
+    match peek st with
+    | COLON ->
+      advance st;
+      let ty = parse_ty (any_ident st) in
+      Prop.stored ~origin:(Oid.of_int 0) name ty
+    | OP "=" ->
+      advance st;
+      let body = parse_or st in
+      Prop.method_ ~origin:(Oid.of_int 0) name body
+    | t -> parse_error "expected : or = after property %s, found %s" name (token_str t)
+  in
+  let acc = acc @ [ def ] in
+  match peek st with
+  | COMMA ->
+    advance st;
+    parse_prop_defs st acc
+  | _ -> acc
+
+let rec parse_q st =
+  match peek st with
+  | IDENT "select" ->
+    advance st;
+    expect_ident st "from";
+    let src = parse_q st in
+    expect_ident st "where";
+    let pred = parse_or st in
+    Ops.Select (src, pred)
+  | IDENT "hide" ->
+    advance st;
+    let rec names acc =
+      let n = any_ident st in
+      let acc = acc @ [ n ] in
+      match peek st with
+      | COMMA ->
+        advance st;
+        names acc
+      | _ -> acc
+    in
+    let props = names [] in
+    expect_ident st "from";
+    Ops.Hide (props, parse_q st)
+  | IDENT "refine" ->
+    advance st;
+    let props = parse_prop_defs st [] in
+    expect_ident st "for";
+    Ops.Refine (props, parse_q st)
+  | IDENT ("union" | "intersect" | "difference") ->
+    let op = any_ident st in
+    expect st LPAREN;
+    let a = parse_q st in
+    expect st COMMA;
+    let b = parse_q st in
+    expect st RPAREN;
+    (match op with
+    | "union" -> Ops.Union (a, b)
+    | "intersect" -> Ops.Intersect (a, b)
+    | _ -> Ops.Difference (a, b))
+  | IDENT name when not (List.mem name keywords) ->
+    advance st;
+    Ops.Class name
+  | LPAREN ->
+    advance st;
+    let q = parse_q st in
+    expect st RPAREN;
+    q
+  | t -> parse_error "unexpected %s in query" (token_str t)
+
+(* ---------------- entry points ---------------- *)
+
+let finish st v =
+  match peek st with
+  | EOF -> v
+  | t -> parse_error "trailing input starting at %s" (token_str t)
+
+let parse_expr input =
+  let st = { toks = lex input } in
+  finish st (parse_or st)
+
+let parse_query input =
+  let st = { toks = lex input } in
+  finish st (parse_q st)
+
+let parse_define input =
+  let st = { toks = lex input } in
+  expect_ident st "defineVC";
+  let name = any_ident st in
+  expect_ident st "as";
+  let q = parse_q st in
+  finish st (name, q)
+
+let define db input =
+  let name, q = parse_define input in
+  Ops.define_vc db ~name q

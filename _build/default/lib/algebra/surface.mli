@@ -1,0 +1,33 @@
+(** Textual surface syntax for the object algebra: the paper's notation
+    (Section 3.2), parseable so views can be defined interactively:
+
+    {v
+    defineVC AgelessPerson as (hide age from Person)
+    defineVC Adult as (select from Person where age >= 18)
+    defineVC Student' as (refine register : bool for Student)
+    defineVC Both as (union (Student, Staff))
+    defineVC Rich as (select from (hide ssn from Person)
+                      where salary + bonus > 100000)
+    v}
+
+    Expressions support integers, floats, strings ("..."), [true], [false],
+    [null], [self], attribute names, [in_class(Name)], [isnull(e)],
+    comparison ([= <> < <= > >=]), arithmetic ([+ - * /]), string
+    concatenation ([^]), [and], [or], [not] and [if e then e else e]. *)
+
+exception Parse_error of string
+(** Carries a message including the offending position. *)
+
+val parse_expr : string -> Tse_schema.Expr.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_query : string -> Ops.query
+(** A query without the [defineVC] wrapper. @raise Parse_error. *)
+
+val parse_define : string -> string * Ops.query
+(** A full ["defineVC <name> as <query>"] statement. @raise Parse_error. *)
+
+val define : Tse_db.Database.t -> string -> Tse_schema.Klass.cid
+(** Parse and execute a [defineVC] statement.
+    @raise Parse_error on syntax errors.
+    @raise Ops.Error on semantic errors. *)

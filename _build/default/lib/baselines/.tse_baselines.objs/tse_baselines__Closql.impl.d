@@ -1,0 +1,1 @@
+lib/baselines/closql.ml: Hashtbl Int List Option Printf

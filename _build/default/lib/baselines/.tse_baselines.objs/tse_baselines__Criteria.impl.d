@@ -1,0 +1,1 @@
+lib/baselines/criteria.ml: Closql Encore Format Goose List Orion Printf Result Rose String Tse_core Tse_db Tse_schema Tse_store Tse_views Tse_workload

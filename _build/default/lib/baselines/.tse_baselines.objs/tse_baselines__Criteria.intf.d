@@ -1,0 +1,1 @@
+lib/baselines/criteria.mli: Format

@@ -1,0 +1,1 @@
+lib/baselines/goose.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/baselines/orion.ml: Hashtbl List Printf String

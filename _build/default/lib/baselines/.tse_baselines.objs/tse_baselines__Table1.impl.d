@@ -1,0 +1,1 @@
+lib/baselines/table1.ml: Array Format Fun List Printf String Tse_objmodel Tse_schema Tse_store Tse_workload

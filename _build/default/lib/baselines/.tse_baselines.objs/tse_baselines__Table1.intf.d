@@ -1,0 +1,1 @@
+lib/baselines/table1.mli: Format

@@ -1,0 +1,130 @@
+type cvid = int
+
+type obj = {
+  id : int;
+  cname : string;
+  stored : cvid;
+  slots : (string, string) Hashtbl.t;
+}
+
+type cinfo = { mutable versions : (cvid * string list) list (* oldest first *) }
+
+type t = {
+  classes : (string, cinfo) Hashtbl.t;
+  updates : (string * cvid * string, (string * string) list -> string) Hashtbl.t;
+  backdates : (string * cvid * string, (string * string) list -> string) Hashtbl.t;
+  mutable next_oid : int;
+  mutable next_cvid : int;
+  mutable conversions : int;
+  mutable installed : int;
+}
+
+let create () =
+  {
+    classes = Hashtbl.create 8;
+    updates = Hashtbl.create 8;
+    backdates = Hashtbl.create 8;
+    next_oid = 0;
+    next_cvid = 0;
+    conversions = 0;
+    installed = 0;
+  }
+
+let fresh_cvid t =
+  let v = t.next_cvid in
+  t.next_cvid <- v + 1;
+  v
+
+let cinfo t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "CLOSQL: unknown class %s" name)
+
+let define_class t name attrs =
+  if Hashtbl.mem t.classes name then
+    invalid_arg (Printf.sprintf "CLOSQL: class %s exists" name);
+  let v = fresh_cvid t in
+  Hashtbl.replace t.classes name { versions = [ (v, attrs) ] };
+  v
+
+let new_class_version t name attrs =
+  let info = cinfo t name in
+  let v = fresh_cvid t in
+  info.versions <- info.versions @ [ (v, attrs) ];
+  v
+
+let versions_of t name = List.map fst (cinfo t name).versions
+
+let attrs_of t name v =
+  match List.assoc_opt v (cinfo t name).versions with
+  | Some attrs -> attrs
+  | None -> invalid_arg (Printf.sprintf "CLOSQL: %s has no version %d" name v)
+
+let install_update t name ~from_version ~attr f =
+  Hashtbl.replace t.updates (name, from_version, attr) f;
+  t.installed <- t.installed + 1
+
+let install_backdate t name ~to_version ~attr f =
+  Hashtbl.replace t.backdates (name, to_version, attr) f;
+  t.installed <- t.installed + 1
+
+let create_object t name v init =
+  ignore (attrs_of t name v);
+  let slots = Hashtbl.create 4 in
+  List.iter (fun (k, x) -> Hashtbl.replace slots k x) init;
+  let o = { id = t.next_oid; cname = name; stored = v; slots } in
+  t.next_oid <- t.next_oid + 1;
+  o
+
+let stored_version _t o = o.stored
+
+(* Convert a slot list one step along the version chain. *)
+let step t cname ~from_v ~to_v slots ~forward =
+  t.conversions <- t.conversions + 1;
+  let target_attrs = attrs_of t cname to_v in
+  List.filter_map
+    (fun attr ->
+      match List.assoc_opt attr slots with
+      | Some x -> Some (attr, x)
+      | None -> begin
+        let table = if forward then t.updates else t.backdates in
+        let key = if forward then (cname, from_v, attr) else (cname, to_v, attr) in
+        match Hashtbl.find_opt table key with
+        | Some f -> Some (attr, f slots)
+        | None -> None
+      end)
+    target_attrs
+
+let read t ~as_of o name =
+  let chain = versions_of t o.cname in
+  if not (List.mem as_of chain) then Error "unknown reading version"
+  else begin
+    let idx v = Option.get (List.find_index (Int.equal v) chain) in
+    let i = idx o.stored and j = idx as_of in
+    let slots =
+      Hashtbl.fold (fun k x acc -> (k, x) :: acc) o.slots []
+    in
+    let rec convert slots i =
+      if i = j then slots
+      else if i < j then
+        let from_v = List.nth chain i and to_v = List.nth chain (i + 1) in
+        convert (step t o.cname ~from_v ~to_v slots ~forward:true) (i + 1)
+      else
+        let from_v = List.nth chain i and to_v = List.nth chain (i - 1) in
+        convert (step t o.cname ~from_v ~to_v slots ~forward:false) (i - 1)
+    in
+    let converted = convert slots i in
+    if not (List.mem name (attrs_of t o.cname as_of)) then
+      Error (Printf.sprintf "attribute %s unknown to version %d" name as_of)
+    else
+      match List.assoc_opt name converted with
+      | Some x -> Ok x
+      | None ->
+        Error
+          (Printf.sprintf
+             "no update/backdate function supplies %s for this instance" name)
+  end
+
+let conversions_performed t = t.conversions
+let functions_installed t = t.installed
+let shares_objects = true

@@ -1,0 +1,50 @@
+(** CLOSQL-style class versioning (Monk & Sommerville, SIGMOD Record 93),
+    simulated:
+
+    - classes are versioned; every instance is {e stored} in the format of
+      the version current at its creation;
+    - the user supplies, per attribute, {b update}/{b backdate} functions
+      converting an instance between adjacent version formats;
+    - any program, written against any version, can access any instance:
+      the system chains conversion functions at {e access time} (the
+      conversion-cost overhead Section 8 mentions, which we count);
+    - stored attributes added by a new version have no value on old
+      instances unless an update function synthesizes one. *)
+
+type t
+type cvid = int
+type obj
+
+val create : unit -> t
+
+val define_class : t -> string -> string list -> cvid
+val new_class_version : t -> string -> string list -> cvid
+val versions_of : t -> string -> cvid list
+
+val install_update :
+  t -> string -> from_version:cvid -> attr:string ->
+  ((string * string) list -> string) -> unit
+(** Synthesize [attr] (introduced after [from_version]) from an older
+    instance's slots, when converting {e forward}. *)
+
+val install_backdate :
+  t -> string -> to_version:cvid -> attr:string ->
+  ((string * string) list -> string) -> unit
+(** Recompute [attr] of an older format from a newer instance's slots,
+    when converting {e backward} (only needed when the attribute changed
+    representation; dropping an attribute needs no function). *)
+
+val create_object : t -> string -> cvid -> (string * string) list -> obj
+val stored_version : t -> obj -> cvid
+
+val read : t -> as_of:cvid -> obj -> string -> (string, string) result
+(** Read through version [as_of]: converts the instance's format along
+    the version chain, applying update/backdate functions. *)
+
+val conversions_performed : t -> int
+(** Access-time conversion cost counter. *)
+
+val functions_installed : t -> int
+(** User-effort metric for Table 2. *)
+
+val shares_objects : bool

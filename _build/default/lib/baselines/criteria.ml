@@ -1,0 +1,236 @@
+module Value = Tse_store.Value
+module Oid = Tse_store.Oid
+module Database = Tse_db.Database
+module Schema_graph = Tse_schema.Schema_graph
+module View_schema = Tse_views.View_schema
+module Tsem = Tse_core.Tsem
+module Change = Tse_core.Change
+module Merge = Tse_core.Merge
+
+type row = {
+  system : string;
+  sharing : bool;
+  effort_count : int;
+  effort_desc : string;
+  flexibility : bool;
+  classes_touched : int;
+  classes_total : int;
+  subschema_evolution : bool;
+  views_with_change : bool;
+  version_merging : bool;
+}
+
+(* Shared scenario shape: Person(name, age) + 7 unrelated classes; add an
+   email attribute to Person; interoperate across the change. *)
+let other_classes = [ "A"; "B"; "C"; "D"; "E"; "F"; "G" ]
+let total_classes = 1 + List.length other_classes
+
+let run_encore () =
+  let t = Encore.create () in
+  let v1 = Encore.define_type t "Person" [ "name"; "age" ] in
+  List.iter (fun c -> ignore (Encore.define_type t c [ "x" ])) other_classes;
+  let p0 = Encore.create_object t "Person" v1 [ ("name", "ada") ] in
+  (* evolution touches only the Person type *)
+  let v2 = Encore.new_type_version t "Person" [ "name"; "age"; "email" ] in
+  (* the new program cannot read email on old instances without a
+     user-written exception handler *)
+  let before = Encore.read t ~as_of:v2 p0 "email" in
+  Encore.install_handler t "Person" ~from_version:v1 ~attr:"email" (fun _ -> "");
+  let after = Encore.read t ~as_of:v2 p0 "email" in
+  let name_new = Encore.read t ~as_of:v2 p0 "name" in
+  {
+    system = "Encore";
+    sharing = Result.is_ok name_new && Result.is_error before && Result.is_ok after;
+    effort_count = Encore.handlers_installed t;
+    effort_desc = "must create exception handler";
+    flexibility = true (* schemas are virtual lattices of type versions *);
+    classes_touched = 1;
+    classes_total = total_classes;
+    subschema_evolution = false (* type versions, no view scoping *);
+    views_with_change = false;
+    version_merging = false;
+  }
+
+let run_orion () =
+  let t = Orion.create () in
+  let v1 = Orion.initial_version t in
+  Orion.add_class t v1 "Person" [ "name"; "age" ];
+  List.iter (fun c -> Orion.add_class t v1 c [ "x" ]) other_classes;
+  let before_classes = Orion.class_count_total t in
+  let p0 = Orion.create_object t v1 ~cls:"Person" [ ("name", "ada") ] in
+  let v2 =
+    Orion.derive_version t ~from:v1 [ ("Person", [ "name"; "age"; "email" ]) ]
+  in
+  (* the object is not visible under v2 without copying *)
+  let direct_visible = Orion.visible t v2 p0 in
+  let p0' = Orion.copy_forward t p0 ~to_:v2 in
+  let shared = Orion.same_identity p0 p0' in
+  (* no back propagation: a delete under v2 leaves v1's object alive *)
+  Orion.delete_object t v2 p0';
+  let still_in_v1 = Orion.visible t v1 p0 in
+  ignore still_in_v1;
+  {
+    system = "Orion";
+    sharing = direct_visible && shared (* false: copies, not sharing *);
+    effort_count = 0;
+    effort_desc = "nothing particular";
+    flexibility = false (* whole-schema versions only *);
+    classes_touched = Orion.class_count_total t - before_classes;
+    classes_total = total_classes;
+    subschema_evolution = false (* the whole hierarchy was copied *);
+    views_with_change = false;
+    version_merging = false;
+  }
+
+let run_goose () =
+  let t = Goose.create () in
+  let v1 = Goose.define_class t "Person" [ "name"; "age" ] in
+  List.iter (fun c -> ignore (Goose.define_class t c [ "x" ])) other_classes;
+  let p0 = Goose.create_object t "Person" v1 [ ("name", "ada") ] in
+  let v2 = Goose.new_class_version t "Person" [ "name"; "age"; "email" ] in
+  (* the user composes the new schema: every class version tracked by hand *)
+  let composition =
+    ("Person", v2)
+    :: List.map (fun c -> (c, List.hd (Goose.versions_of t c))) other_classes
+  in
+  let schema2 =
+    match Goose.compose t composition with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let name_new = Goose.read t schema2 p0 "name" in
+  {
+    system = "Goose";
+    sharing = Result.is_ok name_new;
+    effort_count = Goose.composition_size schema2;
+    effort_desc = "keep track of class versions for each schema";
+    flexibility = true;
+    classes_touched = 1;
+    classes_total = total_classes;
+    subschema_evolution = false;
+    views_with_change = false;
+    version_merging = false;
+  }
+
+let run_closql () =
+  let t = Closql.create () in
+  let v1 = Closql.define_class t "Person" [ "name"; "age" ] in
+  List.iter (fun c -> ignore (Closql.define_class t c [ "x" ])) other_classes;
+  let p0 = Closql.create_object t "Person" v1 [ ("name", "ada") ] in
+  let v2 = Closql.new_class_version t "Person" [ "name"; "age"; "email" ] in
+  (* without an update function the new attribute cannot be materialized *)
+  let before = Closql.read t ~as_of:v2 p0 "email" in
+  Closql.install_update t "Person" ~from_version:v1 ~attr:"email" (fun _ -> "");
+  let after = Closql.read t ~as_of:v2 p0 "email" in
+  let name_new = Closql.read t ~as_of:v2 p0 "name" in
+  {
+    system = "CLOSQL";
+    sharing =
+      Result.is_ok name_new && Result.is_error before && Result.is_ok after;
+    effort_count = Closql.functions_installed t;
+    effort_desc = "must create update/backdate functions";
+    flexibility = true;
+    classes_touched = 1;
+    classes_total = total_classes;
+    subschema_evolution = false (* plus per-access conversion cost *);
+    views_with_change = false;
+    version_merging = false;
+  }
+
+let run_rose () =
+  let t = Rose.create () in
+  let v1 = Rose.define_type t "Person" [ ("name", ""); ("age", "0") ] in
+  List.iter
+    (fun c -> ignore (Rose.define_type t c [ ("x", "") ]))
+    other_classes;
+  let p0 = Rose.create_object t "Person" v1 [ ("name", "ada") ] in
+  let v2 =
+    Rose.new_type_version t "Person"
+      [ ("name", ""); ("age", "0"); ("email", "") ]
+  in
+  let email = Rose.read t ~as_of:v2 p0 "email" in
+  let name_new = Rose.read t ~as_of:v2 p0 "name" in
+  {
+    system = "Rose";
+    sharing = Result.is_ok name_new && Result.is_ok email;
+    effort_count = 0;
+    effort_desc = "nothing particular";
+    flexibility = true;
+    classes_touched = 1;
+    classes_total = total_classes;
+    subschema_evolution = false;
+    views_with_change = false;
+    version_merging = false;
+  }
+
+(* The TSE row runs on the real stack: the university schema (8 classes),
+   a 3-class view, the Figure 3 change, interop, and a version merge. *)
+let run_tse () =
+  let uni = Tse_workload.University.build () in
+  let db = uni.db in
+  let tsem = Tsem.of_database db in
+  let names = [ "Person"; "Student"; "TA" ] in
+  ignore (Tsem.define_view_by_names tsem ~name:"U1" names);
+  ignore (Tsem.define_view_by_names tsem ~name:"U2" names);
+  let p0 =
+    Database.create_object db uni.student ~init:[ ("name", Value.String "ada") ]
+  in
+  let classes_before = Schema_graph.size (Database.graph db) in
+  let v1 =
+    Tsem.evolve tsem ~view:"U1"
+      (Change.Add_attribute { cls = "Student"; def = Change.attr "email" Value.TString })
+  in
+  let classes_touched = Schema_graph.size (Database.graph db) - classes_before in
+  (* sharing: the pre-change object is read and written through the new
+     view, same identity, and the old view sees the update *)
+  let student' = View_schema.cid_of_exn v1 "Student" in
+  let sharing =
+    Oid.Set.mem p0 (Database.extent db student')
+    &&
+    (Database.set_attr db p0 "email" (Value.String "a@x");
+     Value.equal (Database.get_prop db p0 "name") (Value.String "ada"))
+    && Oid.Set.mem p0 (Database.extent db uni.student)
+  in
+  (* merging: measured by actually merging U1 (evolved) with U2 *)
+  let version_merging =
+    match Merge.merge_current tsem ~view1:"U1" ~view2:"U2" ~new_name:"U3" with
+    | merged -> View_schema.size merged > 0
+    | exception _ -> false
+  in
+  {
+    system = "TSE system";
+    sharing;
+    effort_count = 0;
+    effort_desc = "nothing particular";
+    flexibility = false (* no free composition from class versions *);
+    classes_touched;
+    classes_total = Schema_graph.size (Database.graph db) - 1 (* minus root *);
+    subschema_evolution = classes_touched < 8 (* only the view's subtree *);
+    views_with_change = true;
+    version_merging;
+  }
+
+let run_all () =
+  [ run_encore (); run_orion (); run_goose (); run_closql (); run_rose ();
+    run_tse () ]
+
+let yn b = if b then "yes" else "no"
+
+let pp_table ppf rows =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "%-12s | %-7s | %-42s | %-11s | %-9s | %-11s | %-7s@ " "system" "sharing"
+    "effort required by user" "flexibility" "subschema" "views+change"
+    "merging";
+  Format.fprintf ppf "%s@ " (String.make 118 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s | %-7s | %-42s | %-11s | %-9s | %-11s | %-7s@ "
+        r.system (yn r.sharing)
+        (Printf.sprintf "%s (%d artifacts)" r.effort_desc r.effort_count)
+        (yn r.flexibility)
+        (Printf.sprintf "%s (%d/%d)" (yn r.subschema_evolution)
+           r.classes_touched r.classes_total)
+        (yn r.views_with_change) (yn r.version_merging))
+    rows;
+  Format.fprintf ppf "@]"

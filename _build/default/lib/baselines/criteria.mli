@@ -1,0 +1,39 @@
+(** Table 2, executed.
+
+    Each comparison criterion of Section 8 is phrased as a scenario and
+    run against every simulated system (and against the real TSE stack),
+    so the yes/no cells of the paper's Table 2 are {e measured} instead of
+    quoted:
+
+    - {b sharing}: an object created before the schema change is read and
+      updated by a program on the new schema, and the update is seen by
+      the old program — without the object having been copied;
+    - {b effort}: how many user-supplied artifacts (exception handlers,
+      update/backdate functions, version-tracking entries) the scenario
+      required;
+    - {b flexibility}: can a schema be composed from individual class
+      versions;
+    - {b subschema evolution}: how many class records an add-attribute on
+      a 3-class view of the 8-class university schema touches/creates;
+    - {b views + schema change} and {b version merging}: exercised on the
+      TSE stack, absent by construction elsewhere. *)
+
+type row = {
+  system : string;
+  sharing : bool;
+  effort_count : int;
+  effort_desc : string;
+  flexibility : bool;
+  classes_touched : int;  (** by the subschema-evolution scenario *)
+  classes_total : int;
+  subschema_evolution : bool;
+  views_with_change : bool;
+  version_merging : bool;
+}
+
+val run_all : unit -> row list
+(** Rows for Encore, Orion, Goose, CLOSQL, Rose and the TSE system, in
+    the paper's order. *)
+
+val pp_table : Format.formatter -> row list -> unit
+(** Render in the shape of the paper's Table 2. *)

@@ -1,0 +1,91 @@
+type tvid = int
+
+type obj = {
+  id : int;
+  tname : string;
+  bound : tvid;
+  slots : (string, string) Hashtbl.t;
+}
+
+type tinfo = { mutable versions : (tvid * string list) list (* newest last *) }
+
+type t = {
+  types : (string, tinfo) Hashtbl.t;
+  handlers : (string * tvid * string, obj -> string) Hashtbl.t;
+  mutable next_oid : int;
+  mutable next_tvid : int;
+  mutable installed : int;
+}
+
+let create () =
+  {
+    types = Hashtbl.create 8;
+    handlers = Hashtbl.create 8;
+    next_oid = 0;
+    next_tvid = 0;
+    installed = 0;
+  }
+
+let fresh_tvid t =
+  let v = t.next_tvid in
+  t.next_tvid <- v + 1;
+  v
+
+let define_type t name attrs =
+  if Hashtbl.mem t.types name then
+    invalid_arg (Printf.sprintf "Encore: type %s exists" name);
+  let v = fresh_tvid t in
+  Hashtbl.replace t.types name { versions = [ (v, attrs) ] };
+  v
+
+let tinfo t name =
+  match Hashtbl.find_opt t.types name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Encore: unknown type %s" name)
+
+let new_type_version t name attrs =
+  let info = tinfo t name in
+  let v = fresh_tvid t in
+  info.versions <- info.versions @ [ (v, attrs) ];
+  v
+
+let versions_of t name = List.map fst (tinfo t name).versions
+
+let attrs_of t name v =
+  match List.assoc_opt v (tinfo t name).versions with
+  | Some attrs -> attrs
+  | None -> invalid_arg (Printf.sprintf "Encore: %s has no version %d" name v)
+
+let create_object t name v init =
+  ignore (attrs_of t name v);
+  let slots = Hashtbl.create 4 in
+  List.iter (fun (k, x) -> Hashtbl.replace slots k x) init;
+  let o = { id = t.next_oid; tname = name; bound = v; slots } in
+  t.next_oid <- t.next_oid + 1;
+  o
+
+let bound_version _t o = o.bound
+
+let install_handler t name ~from_version ~attr f =
+  Hashtbl.replace t.handlers (name, from_version, attr) f;
+  t.installed <- t.installed + 1
+
+let read t ~as_of o name =
+  let reader_attrs = attrs_of t o.tname as_of in
+  if not (List.mem name reader_attrs) then
+    Error (Printf.sprintf "attribute %s unknown to the reading version" name)
+  else if List.mem name (attrs_of t o.tname o.bound) then
+    match Hashtbl.find_opt o.slots name with
+    | Some x -> Ok x
+    | None -> Ok ""
+  else
+    (* the object's bound version lacks the attribute: exception handler *)
+    match Hashtbl.find_opt t.handlers (o.tname, o.bound, name) with
+    | Some f -> Ok (f o)
+    | None ->
+      Error
+        (Printf.sprintf
+           "no exception handler for %s on version %d instances" name o.bound)
+
+let handlers_installed t = t.installed
+let shares_objects = true

@@ -1,0 +1,47 @@
+(** Encore-style type versioning (Skarra & Zdonik, OOPSLA 86), simulated:
+
+    - each {e type} keeps a list of versions; an object is bound to the
+      version current when it was created;
+    - all versions' instances are accessible through the {e version-set
+      interface}, but a program written against version [n] reading a
+      property absent from an object's bound version needs a
+      user-supplied {b exception handler} — without one the access
+      fails;
+    - the schema itself is not versioned: the user mentally composes a
+      "virtual schema version" by tracking which type versions belong
+      together. *)
+
+type t
+type tvid = int
+type obj
+
+val create : unit -> t
+
+val define_type : t -> string -> string list -> tvid
+(** First version of a named type. *)
+
+val new_type_version : t -> string -> string list -> tvid
+(** Append a version with the given attribute list. Returns its id. *)
+
+val versions_of : t -> string -> tvid list
+val attrs_of : t -> string -> tvid -> string list
+
+val create_object : t -> string -> tvid -> (string * string) list -> obj
+val bound_version : t -> obj -> tvid
+
+val install_handler :
+  t -> string -> from_version:tvid -> attr:string -> (obj -> string) -> unit
+(** The user-supplied exception handler: what to answer when a program
+    reads [attr] (defined in some newer version) on an object bound to
+    [from_version]. *)
+
+val read :
+  t -> as_of:tvid -> obj -> string -> (string, string) result
+(** Read through version [as_of]'s interface. Objects bound to a version
+    lacking the attribute answer via their handler, or fail. *)
+
+val handlers_installed : t -> int
+(** User-effort metric for Table 2. *)
+
+val shares_objects : bool
+(** [true]: all programs see the single underlying instance. *)

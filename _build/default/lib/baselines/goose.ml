@@ -1,0 +1,96 @@
+type cvid = int
+
+type obj = {
+  id : int;
+  cname : string;
+  stored : cvid;
+  slots : (string, string) Hashtbl.t;
+}
+
+type version_def = { attrs : string list; super : string option }
+type cinfo = { mutable versions : (cvid * version_def) list }
+type composition = (string * cvid) list
+
+type t = {
+  classes : (string, cinfo) Hashtbl.t;
+  mutable next_oid : int;
+  mutable next_cvid : int;
+  mutable checks : int;
+}
+
+let create () =
+  { classes = Hashtbl.create 8; next_oid = 0; next_cvid = 0; checks = 0 }
+
+let fresh_cvid t =
+  let v = t.next_cvid in
+  t.next_cvid <- v + 1;
+  v
+
+let cinfo t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Goose: unknown class %s" name)
+
+let define_class t name ?super attrs =
+  if Hashtbl.mem t.classes name then
+    invalid_arg (Printf.sprintf "Goose: class %s exists" name);
+  let v = fresh_cvid t in
+  Hashtbl.replace t.classes name { versions = [ (v, { attrs; super }) ] };
+  v
+
+let new_class_version t name ?super attrs =
+  let info = cinfo t name in
+  let v = fresh_cvid t in
+  info.versions <- info.versions @ [ (v, { attrs; super }) ];
+  v
+
+let versions_of t name = List.map fst (cinfo t name).versions
+
+let def_of t name v =
+  match List.assoc_opt v (cinfo t name).versions with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Goose: %s has no version %d" name v)
+
+let compose t choices =
+  t.checks <- t.checks + 1;
+  let rec check = function
+    | [] -> Ok (choices : composition)
+    | (name, v) :: rest -> begin
+      match List.assoc_opt v (cinfo t name).versions with
+      | None -> Error (Printf.sprintf "version %d does not belong to %s" v name)
+      | Some def -> begin
+        match def.super with
+        | Some s when not (List.mem_assoc s choices) ->
+          Error
+            (Printf.sprintf
+               "inconsistent composition: %s (v%d) needs superclass %s" name v s)
+        | Some _ | None -> check rest
+      end
+    end
+  in
+  check choices
+
+let composition_size (c : composition) = List.length c
+
+let create_object t name v init =
+  ignore (def_of t name v);
+  let slots = Hashtbl.create 4 in
+  List.iter (fun (k, x) -> Hashtbl.replace slots k x) init;
+  let o = { id = t.next_oid; cname = name; stored = v; slots } in
+  t.next_oid <- t.next_oid + 1;
+  o
+
+let read t composition o name =
+  match List.assoc_opt o.cname composition with
+  | None -> Error (Printf.sprintf "composition has no version of %s" o.cname)
+  | Some v ->
+    let def = def_of t o.cname v in
+    if not (List.mem name def.attrs) then
+      Error (Printf.sprintf "attribute %s not in the composed version" name)
+    else (
+      (* instances are shared across class versions *)
+      match Hashtbl.find_opt o.slots name with
+      | Some x -> Ok x
+      | None -> Ok "")
+
+let consistency_checks t = t.checks

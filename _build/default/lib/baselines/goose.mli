@@ -1,0 +1,41 @@
+(** Goose-style class versioning (Kim; Morsi/Navathe/Kim), simulated:
+
+    - individual {e classes} are versioned (not the schema);
+    - a usable schema is {e composed by the user} from one version of each
+      class — flexible, but the user carries the burden of tracking which
+      class versions belong together, and the system must check the
+      composition's consistency;
+    - instances are shared: any composition containing a version of the
+      object's class can reach the object. *)
+
+type t
+type cvid = int
+type obj
+type composition
+
+val create : unit -> t
+
+val define_class : t -> string -> ?super:string -> string list -> cvid
+val new_class_version : t -> string -> ?super:string -> string list -> cvid
+val versions_of : t -> string -> cvid list
+
+val compose :
+  t -> (string * cvid) list -> (composition, string) result
+(** Build a schema from class versions. Fails when a chosen version's
+    superclass is not part of the composition, or a version id does not
+    belong to its class — the consistency checking overhead Section 8
+    describes. *)
+
+val composition_size : composition -> int
+(** The number of (class, version) pairs the user had to track: the
+    effort metric. *)
+
+val create_object : t -> string -> cvid -> (string * string) list -> obj
+
+val read : t -> composition -> obj -> string -> (string, string) result
+(** Read an attribute through a composition: the object answers if the
+    composition includes {e any} version of its class defining the
+    attribute (instances are shared across class versions). *)
+
+val consistency_checks : t -> int
+(** How many composition checks the system has performed. *)

@@ -1,0 +1,118 @@
+type vid = int
+
+type obj = { id : int; mutable home : vid }
+
+type cell = {
+  cls : string;
+  slots : (string, string) Hashtbl.t;
+  obj : obj;
+  mutable frozen : bool;
+}
+
+type version = {
+  schema : (string, string list) Hashtbl.t;  (* class -> attrs *)
+  objects : (int, cell) Hashtbl.t;
+}
+
+type t = {
+  versions : (vid, version) Hashtbl.t;
+  mutable next_vid : vid;
+  mutable next_oid : int;
+  mutable copies : int;
+}
+
+let create () =
+  let t =
+    { versions = Hashtbl.create 4; next_vid = 0; next_oid = 0; copies = 0 }
+  in
+  Hashtbl.replace t.versions 0
+    { schema = Hashtbl.create 8; objects = Hashtbl.create 16 };
+  t.next_vid <- 1;
+  t
+
+let initial_version _t = 0
+
+let version t v =
+  match Hashtbl.find_opt t.versions v with
+  | Some ver -> ver
+  | None -> invalid_arg (Printf.sprintf "Orion: unknown version %d" v)
+
+let add_class t v name attrs = Hashtbl.replace (version t v).schema name attrs
+
+let derive_version t ~from overrides =
+  let src = version t from in
+  (* the whole schema hierarchy is copied: every class record duplicated *)
+  let schema = Hashtbl.copy src.schema in
+  List.iter (fun (cls, attrs) -> Hashtbl.replace schema cls attrs) overrides;
+  let vid = t.next_vid in
+  t.next_vid <- vid + 1;
+  Hashtbl.replace t.versions vid { schema; objects = Hashtbl.create 16 };
+  vid
+
+let schema_classes t v =
+  Hashtbl.fold (fun c _ acc -> c :: acc) (version t v).schema []
+  |> List.sort String.compare
+
+let class_count_total t =
+  Hashtbl.fold (fun _ ver acc -> acc + Hashtbl.length ver.schema) t.versions 0
+
+let create_object t v ~cls init =
+  let ver = version t v in
+  if not (Hashtbl.mem ver.schema cls) then
+    invalid_arg (Printf.sprintf "Orion: no class %s in version %d" cls v);
+  let obj = { id = t.next_oid; home = v } in
+  t.next_oid <- t.next_oid + 1;
+  let slots = Hashtbl.create 4 in
+  List.iter (fun (k, x) -> Hashtbl.replace slots k x) init;
+  Hashtbl.replace ver.objects obj.id { cls; slots; obj; frozen = false };
+  obj
+
+let visible t v obj = Hashtbl.mem (version t v).objects obj.id
+
+let copy_forward t obj ~to_ =
+  let src = version t obj.home in
+  let cell =
+    match Hashtbl.find_opt src.objects obj.id with
+    | Some c -> c
+    | None -> invalid_arg "Orion.copy_forward: object not in its home version"
+  in
+  let dst = version t to_ in
+  let attrs =
+    match Hashtbl.find_opt dst.schema cell.cls with
+    | Some attrs -> attrs
+    | None -> []
+  in
+  (* convert: keep only the attributes the target version's class knows *)
+  let slots = Hashtbl.create 4 in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt cell.slots a with
+      | Some x -> Hashtbl.replace slots a x
+      | None -> ())
+    attrs;
+  let copy = { id = t.next_oid; home = to_ } in
+  t.next_oid <- t.next_oid + 1;
+  t.copies <- t.copies + 1;
+  Hashtbl.replace dst.objects copy.id { cls = cell.cls; slots; obj = copy; frozen = false };
+  (* the original freezes under the new regime *)
+  cell.frozen <- true;
+  copy
+
+let get t v obj name =
+  match Hashtbl.find_opt (version t v).objects obj.id with
+  | None -> None
+  | Some cell -> Hashtbl.find_opt cell.slots name
+
+let set t v obj name x =
+  match Hashtbl.find_opt (version t v).objects obj.id with
+  | None -> Error "object not visible under this version"
+  | Some cell ->
+    if cell.frozen then Error "object is frozen (superseded by a newer copy)"
+    else begin
+      Hashtbl.replace cell.slots name x;
+      Ok ()
+    end
+
+let delete_object t v obj = Hashtbl.remove (version t v).objects obj.id
+let same_identity a b = a.id = b.id
+let copies_made t = t.copies

@@ -1,0 +1,54 @@
+(** ORION-style schema versioning (Kim & Chou, VLDB 88) — the paper's
+    Section 8 characterization, simulated:
+
+    - versions are of the {e whole schema hierarchy}, not of classes;
+    - deriving a new version copies the complete schema;
+    - an instance belongs to the schema version under which it was
+      created; to use it under a newer version it must be {e copied and
+      converted} — after which the versions hold {e separate} objects;
+    - old objects are frozen (non-updatable) under the new schema;
+    - no backward propagation: deleting an object under the new version
+      leaves it visible under the old one (the inconsistency Section 8
+      calls out). *)
+
+type t
+type vid = int
+type obj
+
+val create : unit -> t
+
+val initial_version : t -> vid
+(** Version 0, with an empty schema. *)
+
+val add_class : t -> vid -> string -> string list -> unit
+(** [add_class t v name attrs] — only the {e latest} version's schema may
+    be edited in place before objects exist; evolution goes through
+    {!derive_version}. *)
+
+val derive_version : t -> from:vid -> (string * string list) list -> vid
+(** Copy the whole schema of [from], apply per-class attribute overrides,
+    return the new version. The copy cost is real: every class record is
+    duplicated. *)
+
+val schema_classes : t -> vid -> string list
+val class_count_total : t -> int
+(** Total class records across all versions — the duplication overhead. *)
+
+val create_object : t -> vid -> cls:string -> (string * string) list -> obj
+val visible : t -> vid -> obj -> bool
+(** An object is visible only under its creation version (until copied). *)
+
+val copy_forward : t -> obj -> to_:vid -> obj
+(** Copy-and-convert an instance to another version: a {e distinct} object
+    (a new identity) whose updates do not reach the original. *)
+
+val get : t -> vid -> obj -> string -> string option
+val set : t -> vid -> obj -> string -> string -> (unit, string) result
+(** Fails when the object is frozen under this version. *)
+
+val delete_object : t -> vid -> obj -> unit
+(** Removes the object from this version only — copies under other
+    versions survive, demonstrating the lack of back propagation. *)
+
+val same_identity : obj -> obj -> bool
+val copies_made : t -> int

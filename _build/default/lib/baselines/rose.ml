@@ -1,0 +1,76 @@
+type tvid = int
+
+type obj = {
+  id : int;
+  tname : string;
+  stored : tvid;
+  slots : (string, string) Hashtbl.t;
+}
+
+type tinfo = { mutable versions : (tvid * (string * string) list) list }
+
+type t = {
+  types : (string, tinfo) Hashtbl.t;
+  mutable next_oid : int;
+  mutable next_tvid : int;
+  mutable resolved : int;
+}
+
+let create () =
+  { types = Hashtbl.create 8; next_oid = 0; next_tvid = 0; resolved = 0 }
+
+let fresh_tvid t =
+  let v = t.next_tvid in
+  t.next_tvid <- v + 1;
+  v
+
+let tinfo t name =
+  match Hashtbl.find_opt t.types name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Rose: unknown type %s" name)
+
+let define_type t name attrs =
+  if Hashtbl.mem t.types name then
+    invalid_arg (Printf.sprintf "Rose: type %s exists" name);
+  let v = fresh_tvid t in
+  Hashtbl.replace t.types name { versions = [ (v, attrs) ] };
+  v
+
+let new_type_version t name attrs =
+  let info = tinfo t name in
+  let v = fresh_tvid t in
+  info.versions <- info.versions @ [ (v, attrs) ];
+  v
+
+let versions_of t name = List.map fst (tinfo t name).versions
+
+let attrs_of t name v =
+  match List.assoc_opt v (tinfo t name).versions with
+  | Some attrs -> attrs
+  | None -> invalid_arg (Printf.sprintf "Rose: %s has no version %d" name v)
+
+let create_object t name v init =
+  ignore (attrs_of t name v);
+  let slots = Hashtbl.create 4 in
+  List.iter (fun (k, x) -> Hashtbl.replace slots k x) init;
+  let o = { id = t.next_oid; tname = name; stored = v; slots } in
+  t.next_oid <- t.next_oid + 1;
+  o
+
+let read t ~as_of o name =
+  let reader_attrs = attrs_of t o.tname as_of in
+  match List.assoc_opt name reader_attrs with
+  | None -> Error (Printf.sprintf "attribute %s unknown to this version" name)
+  | Some default -> begin
+    match Hashtbl.find_opt o.slots name with
+    | Some x -> Ok x
+    | None ->
+      if List.mem_assoc name (attrs_of t o.tname o.stored) then Ok ""
+      else begin
+        (* mismatch: resolve automatically with the declared default *)
+        t.resolved <- t.resolved + 1;
+        Ok default
+      end
+  end
+
+let auto_resolutions t = t.resolved

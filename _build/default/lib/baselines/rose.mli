@@ -1,0 +1,30 @@
+(** Rose-style automatic type-mismatch resolution (Mehta, Spooner &
+    Hardwick, RPI TR 93), simulated:
+
+    - types are versioned; instances stay in their creation format;
+    - when a program accesses an instance of a mismatched format, the
+      system resolves the mismatch {e automatically}: missing attributes
+      answer a type-appropriate default, dropped attributes are ignored —
+      no user-supplied handlers or conversion functions ("nothing
+      particular" in Table 2);
+    - instances are shared by all versions. *)
+
+type t
+type tvid = int
+type obj
+
+val create : unit -> t
+
+val define_type : t -> string -> (string * string) list -> tvid
+(** Attributes with their default values. *)
+
+val new_type_version : t -> string -> (string * string) list -> tvid
+val versions_of : t -> string -> tvid list
+
+val create_object : t -> string -> tvid -> (string * string) list -> obj
+
+val read : t -> as_of:tvid -> obj -> string -> (string, string) result
+(** Automatic resolution: never demands user artifacts. *)
+
+val auto_resolutions : t -> int
+(** How many mismatches were resolved automatically. *)

@@ -1,0 +1,316 @@
+module Value = Tse_store.Value
+module Oid = Tse_store.Oid
+module Heap = Tse_store.Heap
+module Stats = Tse_store.Stats
+module Prop = Tse_schema.Prop
+module Schema_graph = Tse_schema.Schema_graph
+module Slicing = Tse_objmodel.Slicing
+module Intersection = Tse_objmodel.Intersection
+module Cars = Tse_workload.Cars
+
+type metrics = {
+  model : string;
+  objects : int;
+  types_per_object : int;
+  oids_per_object : float;
+  managerial_bytes : int;
+  data_bytes : int;
+  user_classes : int;
+  auto_classes : int;
+  reclass_copies : int;
+  reclass_swaps : int;
+}
+
+let o0 = Oid.of_int 0
+
+(* Independent aspect classes under Car: the types an object dynamically
+   acquires (Imported, Leased, Electric, ...). *)
+let add_aspects graph car n =
+  List.init n (fun i ->
+      Schema_graph.register_base graph
+        ~name:(Printf.sprintf "Aspect%d" i)
+        ~props:[ Prop.stored ~origin:o0 (Printf.sprintf "aspect%d" i) Value.TInt ]
+        ~supers:[ car ])
+
+type setup_s = {
+  s_model : Slicing.t;
+  s_objects : Oid.t array;
+  s_cars : Cars.t;
+  s_aspects : Tse_schema.Klass.cid list;
+}
+
+type setup_i = {
+  i_model : Intersection.t;
+  i_objects : Oid.t array;
+  i_cars : Cars.t;
+  i_aspects : Tse_schema.Klass.cid list;
+}
+
+let build_slicing ~objects ~aspects_n ~join =
+  let cars = Cars.build () in
+  let aspects = add_aspects cars.graph cars.car aspects_n in
+  let stats = Stats.create () in
+  let m = Slicing.create ~graph:cars.graph ~heap:cars.heap ~stats in
+  let objs =
+    Array.init objects (fun i ->
+        let o = Slicing.create_object m cars.jeep in
+        Slicing.set_attr m o "model" (Value.String (Printf.sprintf "m%d" i));
+        Slicing.set_attr m o "weight" (Value.Int (1000 + i));
+        List.iteri
+          (fun k a -> if k < join then Slicing.add_to_class m o a)
+          aspects;
+        o)
+  in
+  { s_model = m; s_objects = objs; s_cars = cars; s_aspects = aspects }
+
+let build_intersection ~objects ~aspects_n ~join =
+  let cars = Cars.build () in
+  let aspects = add_aspects cars.graph cars.car aspects_n in
+  let stats = Stats.create () in
+  let m = Intersection.create ~graph:cars.graph ~heap:cars.heap ~stats in
+  let objs =
+    Array.init objects (fun i ->
+        let o = Intersection.create_object m cars.jeep in
+        Intersection.set_attr m o "model" (Value.String (Printf.sprintf "m%d" i));
+        Intersection.set_attr m o "weight" (Value.Int (1000 + i));
+        List.iteri
+          (fun k a -> if k < join then Intersection.add_to_class m o a)
+          aspects;
+        o)
+  in
+  { i_model = m; i_objects = objs; i_cars = cars; i_aspects = aspects }
+
+let measure ~objects ~types_per_object =
+  let join = max 0 (types_per_object - 1) in
+  let aspects_n = max join 1 in
+  let s = build_slicing ~objects ~aspects_n ~join in
+  let i = build_intersection ~objects ~aspects_n ~join in
+  let user_classes = 3 + aspects_n (* Car, Jeep, Imported + aspects *) in
+  let stats_s = Slicing.stats s.s_model in
+  let stats_i = Intersection.stats i.i_model in
+  ( {
+      model = "object-slicing";
+      objects;
+      types_per_object;
+      oids_per_object = Stats.oids_per_object stats_s;
+      managerial_bytes = Stats.managerial_bytes stats_s;
+      data_bytes = stats_s.Stats.data_bytes;
+      user_classes;
+      auto_classes = 0;
+      reclass_copies = stats_s.Stats.copies;
+      reclass_swaps = stats_s.Stats.identity_swaps;
+    },
+    {
+      model = "intersection-class";
+      objects;
+      types_per_object;
+      oids_per_object = Stats.oids_per_object stats_i;
+      managerial_bytes = Stats.managerial_bytes stats_i;
+      data_bytes = stats_i.Stats.data_bytes;
+      user_classes;
+      auto_classes = Intersection.intersection_classes_created i.i_model;
+      reclass_copies = stats_i.Stats.copies;
+      reclass_swaps = stats_i.Stats.identity_swaps;
+    } )
+
+let worst_case_classes ~aspects =
+  (* one object per non-empty subset of the aspect types *)
+  let subsets =
+    List.init ((1 lsl aspects) - 1) (fun mask ->
+        List.filteri (fun i _ -> (mask + 1) lsr i land 1 = 1)
+          (List.init aspects Fun.id))
+  in
+  let s = build_slicing ~objects:0 ~aspects_n:aspects ~join:0 in
+  let i = build_intersection ~objects:0 ~aspects_n:aspects ~join:0 in
+  let g_before_s = Schema_graph.size (Slicing.graph s.s_model) in
+  let g_before_i = Schema_graph.size (Intersection.graph i.i_model) in
+  List.iter
+    (fun subset ->
+      let o = Slicing.create_object s.s_model s.s_cars.car in
+      List.iter
+        (fun k -> Slicing.add_to_class s.s_model o (List.nth s.s_aspects k))
+        subset;
+      let o' = Intersection.create_object i.i_model i.i_cars.car in
+      List.iter
+        (fun k ->
+          Intersection.add_to_class i.i_model o' (List.nth i.i_aspects k))
+        subset)
+    subsets;
+  ( Schema_graph.size (Slicing.graph s.s_model) - g_before_s,
+    Schema_graph.size (Intersection.graph i.i_model) - g_before_i )
+
+let pp_comparison ppf ((s, i) : metrics * metrics) =
+  let row label f = Format.fprintf ppf "%-28s | %-18s | %-18s@ " label (f s) (f i) in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "TABLE 1 (objects=%d, types/object=%d)@ %-28s | %-18s | %-18s@ %s@ "
+    s.objects s.types_per_object "criterion" s.model i.model
+    (String.make 70 '-');
+  row "#oids for one object" (fun m -> Printf.sprintf "%.2f" m.oids_per_object);
+  row "managerial storage (bytes)" (fun m -> string_of_int m.managerial_bytes);
+  row "data storage (bytes)" (fun m -> string_of_int m.data_bytes);
+  row "#user classes" (fun m -> string_of_int m.user_classes);
+  row "#auto (intersection) classes" (fun m -> string_of_int m.auto_classes);
+  row "reclass: value copies" (fun m -> string_of_int m.reclass_copies);
+  row "reclass: identity swaps" (fun m -> string_of_int m.reclass_swaps);
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Timing workloads                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type 'a workload = { label : string; run : unit -> 'a }
+
+let cast_workloads ~objects =
+  let s = build_slicing ~objects ~aspects_n:1 ~join:1 in
+  let i = build_intersection ~objects ~aspects_n:1 ~join:1 in
+  let cursor = ref 0 in
+  let next arr =
+    let k = !cursor in
+    cursor := (k + 1) mod Array.length arr;
+    arr.(k)
+  in
+  ( {
+      label = "cast/slicing";
+      run =
+        (fun () -> ignore (Slicing.cast s.s_model (next s.s_objects) s.s_cars.car));
+    },
+    {
+      label = "cast/intersection";
+      run =
+        (fun () ->
+          ignore (Intersection.cast i.i_model (next i.i_objects) i.i_cars.car));
+    } )
+
+let local_attr_workloads ~objects =
+  let s = build_slicing ~objects ~aspects_n:1 ~join:1 in
+  let i = build_intersection ~objects ~aspects_n:1 ~join:1 in
+  (* the attribute must be populated: empty slots measure the unknown-name
+     fallback, not attribute access *)
+  Array.iter (fun o -> Slicing.set_attr s.s_model o "offroad" (Value.Bool true)) s.s_objects;
+  Array.iter
+    (fun o -> Intersection.set_attr i.i_model o "offroad" (Value.Bool true))
+    i.i_objects;
+  let c = ref 0 in
+  let next arr =
+    let k = !c in
+    c := (k + 1) mod Array.length arr;
+    arr.(k)
+  in
+  ( {
+      label = "get_local/slicing";
+      run = (fun () -> ignore (Slicing.get_attr s.s_model (next s.s_objects) "offroad"));
+    },
+    {
+      label = "get_local/intersection";
+      run =
+        (fun () ->
+          ignore (Intersection.get_attr i.i_model (next i.i_objects) "offroad"));
+    } )
+
+let deep_setup ~depth ~objects =
+  let cars, chain = Cars.deep_chain ~depth in
+  let leaf = List.nth chain (depth - 1) in
+  let stats = Stats.create () in
+  let cars2, chain2 = Cars.deep_chain ~depth in
+  let leaf2 = List.nth chain2 (depth - 1) in
+  let s = Slicing.create ~graph:cars.graph ~heap:cars.heap ~stats in
+  let i =
+    Intersection.create ~graph:cars2.graph ~heap:cars2.heap ~stats:(Stats.create ())
+  in
+  let so =
+    Array.init objects (fun k ->
+        let o = Slicing.create_object s leaf in
+        Slicing.set_attr s o "model" (Value.String (string_of_int k));
+        o)
+  in
+  let io =
+    Array.init objects (fun k ->
+        let o = Intersection.create_object i leaf2 in
+        Intersection.set_attr i o "model" (Value.String (string_of_int k));
+        o)
+  in
+  (s, so, i, io)
+
+let inherited_attr_workloads ~depth ~objects =
+  let s, so, i, io = deep_setup ~depth ~objects in
+  let c = ref 0 in
+  let next arr =
+    let k = !c in
+    c := (k + 1) mod Array.length arr;
+    arr.(k)
+  in
+  ( {
+      label = Printf.sprintf "get_inherited(d=%d)/slicing" depth;
+      (* 'model' is defined at the root Car, [depth] levels above *)
+      run = (fun () -> ignore (Slicing.get_attr s (next so) "model"));
+    },
+    {
+      label = Printf.sprintf "get_inherited(d=%d)/intersection" depth;
+      run = (fun () -> ignore (Intersection.get_attr i (next io) "model"));
+    } )
+
+let select_scan_workloads ~objects =
+  let s = build_slicing ~objects ~aspects_n:1 ~join:1 in
+  let i = build_intersection ~objects ~aspects_n:1 ~join:1 in
+  let wanted = Value.Int (1000 + (objects / 2)) in
+  (* the paper's argument for slicing on selects is clustering: a scan of
+     one attribute touches only the defining class's (small) slices. The
+     in-memory analog: the query engine resolves the defining class once
+     and reads each object's slice directly. *)
+  let car = s.s_cars.car in
+  ( {
+      label = "select_scan/slicing(clustered)";
+      run =
+        (fun () ->
+          Array.fold_left
+            (fun acc o ->
+              match Slicing.impl_of s.s_model o car with
+              | Some impl ->
+                if
+                  Value.equal
+                    (Tse_store.Heap.get_slot (Slicing.heap s.s_model) impl "weight")
+                    wanted
+                then acc + 1
+                else acc
+              | None -> acc)
+            0 s.s_objects);
+    },
+    {
+      label = "select_scan/intersection";
+      run =
+        (fun () ->
+          Array.fold_left
+            (fun acc o ->
+              if Value.equal (Intersection.get_attr i.i_model o "weight") wanted
+              then acc + 1
+              else acc)
+            0 i.i_objects);
+    } )
+
+let reclass_workloads ~objects =
+  let s = build_slicing ~objects ~aspects_n:1 ~join:0 in
+  let i = build_intersection ~objects ~aspects_n:1 ~join:0 in
+  let aspect_s = List.hd s.s_aspects and aspect_i = List.hd i.i_aspects in
+  let c = ref 0 in
+  let next arr =
+    let k = !c in
+    c := (k + 1) mod Array.length arr;
+    arr.(k)
+  in
+  ( {
+      label = "reclassify/slicing";
+      run =
+        (fun () ->
+          let o = next s.s_objects in
+          Slicing.add_to_class s.s_model o aspect_s;
+          Slicing.remove_from_class s.s_model o aspect_s);
+    },
+    {
+      label = "reclassify/intersection";
+      run =
+        (fun () ->
+          let o = next i.i_objects in
+          Intersection.add_to_class i.i_model o aspect_i;
+          Intersection.remove_from_class i.i_model o aspect_i);
+    } )

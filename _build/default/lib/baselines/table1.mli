@@ -1,0 +1,55 @@
+(** Table 1, executed: the object-slicing vs intersection-class
+    comparison of Section 4.2, measured on a populated car database
+    (Figure 5's schema, scaled).
+
+    The structural rows (#oids, managerial storage, #classes, copies and
+    identity swaps paid by dynamic classification) are computed here; the
+    timing rows (casting, local- and inherited-attribute access, select
+    scans, reclassification) are measured by the bench harness over the
+    workloads this module prepares. *)
+
+type metrics = {
+  model : string;
+  objects : int;
+  types_per_object : int;
+  oids_per_object : float;  (** Table 1 row: #oids for one object *)
+  managerial_bytes : int;  (** Table 1 row: storage for managerial purpose *)
+  data_bytes : int;  (** Table 1 row: storage for data values *)
+  user_classes : int;
+  auto_classes : int;  (** Table 1 row: #classes beyond the user's *)
+  reclass_copies : int;  (** dynamic classification: value copies *)
+  reclass_swaps : int;  (** dynamic classification: identity swaps *)
+}
+
+val measure : objects:int -> types_per_object:int -> metrics * metrics
+(** [(slicing, intersection)] after creating [objects] cars and
+    dynamically classifying each into [types_per_object - 1] additional
+    independent aspect classes. *)
+
+val worst_case_classes : aspects:int -> int * int
+(** [(slicing, intersection)] classes created when one object takes every
+    subset of [aspects] aspect types — the [2^n] explosion claim. *)
+
+val pp_comparison : Format.formatter -> metrics * metrics -> unit
+
+(** {2 Workloads for the timing benchmarks} *)
+
+type 'a workload = {
+  label : string;
+  run : unit -> 'a;  (** one measured operation *)
+}
+
+val cast_workloads : objects:int -> unit workload * unit workload
+val local_attr_workloads : objects:int -> unit workload * unit workload
+
+val inherited_attr_workloads :
+  depth:int -> objects:int -> unit workload * unit workload
+(** Read an attribute defined [depth] superclasses above the objects'
+    class — the access pattern where intersection-class wins. *)
+
+val select_scan_workloads : objects:int -> int workload * int workload
+(** Count objects whose local attribute satisfies a predicate — the
+    pattern where slicing is claimed to win. *)
+
+val reclass_workloads : objects:int -> unit workload * unit workload
+(** Dynamically classify and declassify one object per run. *)

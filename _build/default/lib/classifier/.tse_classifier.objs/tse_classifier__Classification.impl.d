@@ -1,0 +1,1 @@
+lib/classifier/classification.ml: List String Tse_db Tse_schema Tse_store

@@ -1,0 +1,1 @@
+lib/classifier/classification.mli: Tse_db Tse_schema

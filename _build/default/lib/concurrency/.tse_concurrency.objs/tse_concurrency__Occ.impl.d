@@ -1,0 +1,1 @@
+lib/concurrency/occ.ml: List Option Printf String Tse_db Tse_store

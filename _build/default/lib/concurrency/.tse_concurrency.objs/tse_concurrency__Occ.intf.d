@@ -1,0 +1,1 @@
+lib/concurrency/occ.mli: Tse_db Tse_store

@@ -1,0 +1,84 @@
+module Oid = Tse_store.Oid
+module Value = Tse_store.Value
+module Database = Tse_db.Database
+
+type t = {
+  db : Database.t;
+  versions : int Oid.Tbl.t;  (* bumped on every committed change *)
+}
+
+type session = {
+  mgr : t;
+  read_set : int Oid.Tbl.t;  (* object -> version when first read *)
+  (* buffered writes, newest last *)
+  mutable write_log : (Oid.t * string * Value.t) list;
+  mutable active : bool;
+}
+
+type conflict = { objects : Oid.t list }
+
+let version t o = Option.value (Oid.Tbl.find_opt t.versions o) ~default:0
+
+let bump t o = Oid.Tbl.replace t.versions o (version t o + 1)
+
+let create db =
+  let t = { db; versions = Oid.Tbl.create 256 } in
+  Database.add_listener db (fun event ->
+      match event with
+      | Database.Object_created o
+      | Database.Object_destroyed o
+      | Database.Attr_set (o, _, _) ->
+        bump t o
+      | Database.Reclassified _ ->
+        (* membership recomputation follows an attribute change that
+           already bumped; reclassification alone does not invalidate *)
+        ());
+  t
+
+let begin_session mgr =
+  { mgr; read_set = Oid.Tbl.create 16; write_log = []; active = true }
+
+let check_active s what =
+  if not s.active then
+    invalid_arg (Printf.sprintf "Occ.%s: session already finished" what)
+
+let track_read s o =
+  if not (Oid.Tbl.mem s.read_set o) then
+    Oid.Tbl.replace s.read_set o (version s.mgr o)
+
+let read s o name =
+  check_active s "read";
+  track_read s o;
+  (* the session sees its own buffered writes *)
+  let own =
+    List.fold_left
+      (fun acc (o', n, v) -> if Oid.equal o o' && String.equal n name then Some v else acc)
+      None s.write_log
+  in
+  match own with Some v -> v | None -> Database.get_prop s.mgr.db o name
+
+let write s o name v =
+  check_active s "write";
+  track_read s o;
+  s.write_log <- s.write_log @ [ (o, name, v) ]
+
+let validate s =
+  Oid.Tbl.fold
+    (fun o seen acc -> if version s.mgr o <> seen then o :: acc else acc)
+    s.read_set []
+
+let commit s =
+  check_active s "commit";
+  s.active <- false;
+  match validate s with
+  | [] ->
+    (* apply buffered writes; each bumps versions via the listener, which
+       is what makes this commit visible to concurrent validators *)
+    List.iter (fun (o, name, v) -> Database.set_attr s.mgr.db o name v) s.write_log;
+    Ok ()
+  | objects -> Error { objects = List.sort_uniq Oid.compare objects }
+
+let abort s = s.active <- false
+let is_active s = s.active
+let reads s = Oid.Tbl.length s.read_set
+let writes s = List.length s.write_log

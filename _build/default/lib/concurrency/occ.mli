@@ -1,0 +1,48 @@
+(** Optimistic concurrency control for multi-user sessions.
+
+    The paper runs on GemStone, which supplies "persistent storage,
+    concurrency control, etc." (Section 5). The store's {!Tse_store.Txn}
+    gives heap-level atomicity; this module adds the multi-user layer:
+    GemStone-style optimistic sessions with commit-time validation.
+
+    A session buffers its writes and records the version of every object
+    it read. [commit] validates that no recorded object has since been
+    committed by another session (first-committer-wins); on success the
+    buffered writes are applied atomically, on conflict the session aborts
+    with the conflicting objects listed.
+
+    Object versions are maintained by listening to the database's change
+    events, so direct (non-session) updates also invalidate concurrent
+    readers — there is no way to sneak past validation. *)
+
+type t
+(** The concurrency manager for one database (one per database). *)
+
+type session
+
+type conflict = {
+  objects : Tse_store.Oid.t list;  (** read by this session, since changed *)
+}
+
+val create : Tse_db.Database.t -> t
+(** Registers the version-tracking listener. *)
+
+val begin_session : t -> session
+
+val read : session -> Tse_store.Oid.t -> string -> Tse_store.Value.t
+(** Read a property through the session: records the object in the read
+    set; sees the session's own buffered writes. *)
+
+val write : session -> Tse_store.Oid.t -> string -> Tse_store.Value.t -> unit
+(** Buffer a write (not visible to other sessions until commit). The
+    object joins the read set (write skew is thereby excluded). *)
+
+val commit : session -> (unit, conflict) result
+(** Validate and apply. After a result is returned the session is closed;
+    reusing it raises [Invalid_argument]. *)
+
+val abort : session -> unit
+
+val is_active : session -> bool
+val reads : session -> int
+val writes : session -> int

@@ -1,0 +1,1 @@
+lib/core/change.ml: Format Tse_schema Tse_store

@@ -1,0 +1,1 @@
+lib/core/change.mli: Format Tse_schema Tse_store

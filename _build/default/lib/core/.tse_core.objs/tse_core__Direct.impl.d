@@ -1,0 +1,1 @@
+lib/core/direct.ml: Change Format List Option Tse_db Tse_schema Tse_store Tse_views

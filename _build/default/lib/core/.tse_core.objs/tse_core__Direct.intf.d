@@ -1,0 +1,1 @@
+lib/core/direct.mli: Change Tse_db Tse_views

@@ -1,0 +1,1 @@
+lib/core/impact.ml: Change Format List String Tse_db Tse_schema Tse_store Tse_views Tsem

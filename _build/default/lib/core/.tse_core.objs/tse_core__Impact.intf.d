@@ -1,0 +1,1 @@
+lib/core/impact.mli: Change Format Tse_db Tse_schema Tse_views Tsem

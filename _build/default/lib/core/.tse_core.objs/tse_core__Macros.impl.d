@@ -1,0 +1,1 @@
+lib/core/macros.ml: List String Tse_db Tse_schema Tse_store

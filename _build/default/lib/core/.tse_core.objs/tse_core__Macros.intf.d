@@ -1,0 +1,1 @@
+lib/core/macros.mli: Tse_db Tse_schema

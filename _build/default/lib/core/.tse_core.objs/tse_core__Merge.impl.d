@@ -1,0 +1,1 @@
+lib/core/merge.ml: List Printf String Tse_db Tse_schema Tse_store Tse_views Tsem

@@ -1,0 +1,1 @@
+lib/core/translator.ml: Change Format List Macros Option Tse_algebra Tse_classifier Tse_db Tse_schema Tse_store Tse_views

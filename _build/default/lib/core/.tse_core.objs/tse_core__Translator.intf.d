@@ -1,0 +1,1 @@
+lib/core/translator.mli: Change Tse_db Tse_schema Tse_views

@@ -1,0 +1,1 @@
+lib/core/tsem.ml: Change List Logs String Translator Tse_db Tse_schema Tse_views Verify

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Format List Option Printf String Tse_db Tse_schema Tse_store Tse_views

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Tse_db Tse_schema Tse_store Tse_views

@@ -1,0 +1,23 @@
+(** The direct-modification oracle: "normal schema modification" as the
+    Section 6 correctness proofs define it.
+
+    Each change is applied {e destructively}, in place, to the global
+    schema — exactly what a conventional OODB (ORION-style, without
+    views) would do, and exactly what the TSE translation must simulate.
+    The verification tests build twin databases, apply {!apply} to one and
+    {!Translator.apply} to the other, and check the resulting views are
+    indistinguishable (Proposition A of each subsection).
+
+    Being destructive, this oracle breaks other views — running it next to
+    the TSE translation is also how the Proposition B tests demonstrate
+    what TSE avoids. *)
+
+val apply :
+  Tse_db.Database.t ->
+  Tse_views.View_schema.t ->
+  Change.t ->
+  Tse_views.View_schema.t
+(** Destructively apply the change; returns the (possibly updated) view
+    over the mutated schema.
+    @raise Change.Rejected under the same preconditions as the
+    translator. *)

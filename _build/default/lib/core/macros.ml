@@ -1,0 +1,72 @@
+module Oid = Tse_store.Oid
+module Prop = Tse_schema.Prop
+module Klass = Tse_schema.Klass
+module Schema_graph = Tse_schema.Schema_graph
+module Type_info = Tse_schema.Type_info
+module Database = Tse_db.Database
+
+type cid = Klass.cid
+
+let without_edge db ~sup ~sub =
+  let g = Schema_graph.copy (Database.graph db) in
+  Schema_graph.remove_edge g ~sup ~sub;
+  g
+
+let common_sub db ~v ~sub ~sup ~sub' =
+  let g' = without_edge db ~sup ~sub:sub' in
+  let commons =
+    Oid.Set.inter (Schema_graph.descendants g' v) (Schema_graph.descendants g' sub)
+  in
+  (* greatest elements: drop any class with an ancestor in the set *)
+  Oid.Set.elements
+    (Oid.Set.filter
+       (fun c ->
+         not
+           (Oid.Set.exists
+              (fun d ->
+                (not (Oid.equal c d))
+                && Schema_graph.is_strict_ancestor g' ~anc:d ~desc:c)
+              commons))
+       commons)
+
+let find_properties db ~w ~sup ~sub =
+  let g = Database.graph db in
+  let g' = without_edge db ~sup ~sub in
+  let still_inherited name uid =
+    List.exists
+      (fun (p : Prop.t) -> p.uid = uid)
+      (match Type_info.find g' w name with
+      | Some (Type_info.Single p) -> [ p ]
+      | Some (Type_info.Conflict ps) -> ps
+      | None -> [])
+  in
+  Type_info.full_type g w
+  |> List.concat_map (fun (name, entry) ->
+         let candidates =
+           match entry with
+           | Type_info.Single p -> [ p ]
+           | Type_info.Conflict ps -> ps
+         in
+         (* a property is lost iff no candidate with its identity survives
+            the edge removal *)
+         if
+           List.exists (fun (p : Prop.t) -> still_inherited name p.uid) candidates
+         then []
+         else [ name ])
+  |> List.sort String.compare
+
+let origin_classes db cid =
+  let g = Database.graph db in
+  let seen = ref Oid.Set.empty in
+  let bases = ref [] in
+  let rec go cid =
+    if not (Oid.Set.mem cid !seen) then begin
+      seen := Oid.Set.add cid !seen;
+      let k = Schema_graph.find_exn g cid in
+      match Klass.sources k with
+      | [] -> if not (List.exists (Oid.equal cid) !bases) then bases := cid :: !bases
+      | sources -> List.iter go sources
+    end
+  in
+  go cid;
+  List.rev !bases

@@ -1,0 +1,25 @@
+(** The two auxiliary macros of the delete-edge translation (Section 6.6.2)
+    and the origin-class trace used by add-class (Section 6.7.2). *)
+
+type cid = Tse_schema.Klass.cid
+
+val common_sub :
+  Tse_db.Database.t -> v:cid -> sub:cid -> sup:cid -> sub':cid -> cid list
+(** [commonSub(v, C_sub, Csup-Csub)]: the greatest common subclasses of
+    [v] and [C_sub] assuming the edge [sup]-[sub'] has been deleted —
+    the classes whose instances remain visible to [v] without the edge
+    (the Figure 11 situation). Evaluated on a copy of the graph with the
+    edge removed. *)
+
+val find_properties :
+  Tse_db.Database.t -> w:cid -> sup:cid -> sub:cid -> string list
+(** [findProperties(w, Csup-Csub)]: names of the properties inherited into
+    [w] {e only} through the given edge — every inheritance path from the
+    property's defining class to [w] contains it (footnote 17). Evaluated
+    by comparing [w]'s resolved type with and without the edge. *)
+
+val origin_classes : Tse_db.Database.t -> cid -> cid list
+(** All origin base classes of a class: the base classes reached by
+    recursively tracing {e every} source relationship (Section 3.4's
+    definition, used by the add-class translation). A base class is its
+    own (sole) origin. *)

@@ -1,0 +1,32 @@
+(** Version merging (paper, Section 7).
+
+    Because every view is defined over one integrated global schema and
+    objects are never duplicated per version, merging two schema versions
+    reduces to collecting their classes:
+    - classes that are {e the same class in the global schema} appear once
+      (identity is decided by the global schema, not by names);
+    - distinct classes that happen to share a view-local name are both
+      kept, disambiguated by appending their version numbers
+      ([Student.v1] / [Student.v2], Figure 16) — the user may rename them
+      afterwards. *)
+
+val merge :
+  Tsem.t ->
+  view1:string ->
+  version1:int ->
+  view2:string ->
+  version2:int ->
+  new_name:string ->
+  Tse_views.View_schema.t
+(** Merge two registered view versions into version 0 of a new view.
+    @raise Invalid_argument if a version is unknown or [new_name] is
+    already a registered view. *)
+
+val merge_current :
+  Tsem.t -> view1:string -> view2:string -> new_name:string ->
+  Tse_views.View_schema.t
+
+val name_collisions :
+  Tse_views.View_schema.t -> Tse_views.View_schema.t -> string list
+(** Local names naming {e different} global classes in the two views —
+    the conflicts the merge will suffix. *)

@@ -1,0 +1,31 @@
+(** The TSE Translator (paper, Sections 5 and 6): maps a schema-change
+    request on a view to a sequence of extended-object-algebra operations,
+    producing a {e new} view schema that reflects the change — the global
+    schema is only ever {e augmented}, never destructively modified, so
+    every other view (and the programs running on it) is untouched.
+
+    Each primitive operator follows the algorithm of its subsection of
+    Section 6; the two macros are translated by composing primitives
+    (Section 6.9). Derived classes get primed global names ([Student'])
+    and are renamed back to the original names within the new view
+    (Section 6.1.3). *)
+
+val apply :
+  Tse_db.Database.t ->
+  Tse_views.View_schema.t ->
+  Change.t ->
+  Tse_views.View_schema.t
+(** Translate and execute the change. Returns the replacement view (same
+    name and version as the input; the TSEM assigns the version on
+    registration).
+    @raise Change.Rejected when the change's preconditions fail (Section
+    6's semantics subsections). *)
+
+val class_mapping :
+  Tse_db.Database.t ->
+  Tse_views.View_schema.t ->
+  Change.t ->
+  (Tse_schema.Klass.cid * Tse_schema.Klass.cid) list
+(** Dry-run variant for inspection: the (old class, primed class) pairs
+    the translation would create. Mutates the database exactly like
+    {!apply} but returns the mapping instead of the view. *)

@@ -1,0 +1,54 @@
+module Database = Tse_db.Database
+module View_schema = Tse_views.View_schema
+module History = Tse_views.History
+module Closure = Tse_views.Closure
+module Schema_graph = Tse_schema.Schema_graph
+
+let src = Logs.Src.create "tse.tsem" ~doc:"Transparent Schema Evolution Manager"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = { db : Database.t; history : History.t }
+
+let of_database db = { db; history = History.create () }
+let create () = of_database (Database.create ())
+let db t = t.db
+let history t = t.history
+
+let define_view t ~name ?(complete_closure = true) cids =
+  let view = View_schema.make ~name ~version:0 (Database.graph t.db) cids in
+  if complete_closure then ignore (Closure.complete t.db view);
+  History.register t.history view;
+  view
+
+let define_view_by_names t ~name ?complete_closure names =
+  let graph = Database.graph t.db in
+  let cids =
+    List.map (fun n -> (Schema_graph.find_by_name_exn graph n).Tse_schema.Klass.cid) names
+  in
+  define_view t ~name ?complete_closure cids
+
+let current t name = History.current_exn t.history name
+
+let evolve t ~view change =
+  let old_view = current t view in
+  Log.info (fun m ->
+      m "evolving view %s (v%d): %s" view old_view.View_schema.version
+        (Change.to_string change));
+  let classes_before = Schema_graph.size (Database.graph t.db) in
+  let new_view = Translator.apply t.db old_view change in
+  let registered = History.replace t.history new_view in
+  Log.info (fun m ->
+      m "view %s replaced by v%d (%d new global classes)" view
+        registered.View_schema.version
+        (Schema_graph.size (Database.graph t.db) - classes_before));
+  registered
+
+let evolve_many t ~view changes =
+  List.iter (fun c -> ignore (evolve t ~view c)) changes;
+  current t view
+
+let all_views_fingerprints t ~except =
+  History.view_names t.history
+  |> List.filter (fun n -> not (String.equal n except))
+  |> List.map (fun n -> (n, Verify.view_fingerprint t.db (current t n)))

@@ -1,0 +1,40 @@
+(** The Transparent Schema Evolution Manager (paper, Section 5, Figure 6):
+    the control module tying the pipeline together.
+
+    On a schema-change request against a view it (1) calls the TSE
+    Translator, which executes the extended object algebra, (2) lets the
+    Classifier integrate the new virtual classes into the global schema
+    (done inside the algebra operators here), (3) has the View Manager
+    generate the new view schema, and (4) registers it in the View Schema
+    History, replacing the user's current version. *)
+
+type t
+
+val create : unit -> t
+val of_database : Tse_db.Database.t -> t
+val db : t -> Tse_db.Database.t
+val history : t -> Tse_views.History.t
+
+val define_view :
+  t -> name:string -> ?complete_closure:bool -> Tse_schema.Klass.cid list -> Tse_views.View_schema.t
+(** Create version 0 of a view over the given classes. With
+    [complete_closure] (default true), classes required for type closure
+    are pulled in automatically (Section 5's View Manager). *)
+
+val define_view_by_names :
+  t -> name:string -> ?complete_closure:bool -> string list -> Tse_views.View_schema.t
+
+val current : t -> string -> Tse_views.View_schema.t
+(** @raise Invalid_argument for an unknown view. *)
+
+val evolve : t -> view:string -> Change.t -> Tse_views.View_schema.t
+(** The transparent schema change: translate, classify, regenerate,
+    register — the user's view is replaced by the new version; every older
+    version (and every other view) remains intact and operational.
+    @raise Change.Rejected when the change's preconditions fail. *)
+
+val evolve_many : t -> view:string -> Change.t list -> Tse_views.View_schema.t
+
+val all_views_fingerprints : t -> except:string -> (string * string) list
+(** Fingerprints of the current version of every view other than [except]
+    — the Proposition B instrumentation. *)

@@ -1,0 +1,91 @@
+module Oid = Tse_store.Oid
+module Klass = Tse_schema.Klass
+module Schema_graph = Tse_schema.Schema_graph
+module Type_info = Tse_schema.Type_info
+module Database = Tse_db.Database
+module View_schema = Tse_views.View_schema
+module Generation = Tse_views.Generation
+
+let class_fingerprint db ~name cid =
+  let graph = Database.graph db in
+  let extent =
+    Database.extent_list db cid |> List.map Oid.to_string |> String.concat ","
+  in
+  Printf.sprintf "%s :: type{%s} extent{%s}" name
+    (Type_info.type_signature graph cid)
+    extent
+
+let view_fingerprint db view =
+  let graph = Database.graph db in
+  let classes =
+    View_schema.classes view
+    |> List.map (fun cid ->
+           let name =
+             match View_schema.local_name view cid with
+             | Some n -> n
+             | None -> Schema_graph.name_of graph cid
+           in
+           class_fingerprint db ~name cid)
+    |> List.sort String.compare
+  in
+  String.concat "\n" classes
+  ^ "\nedges: "
+  ^ Generation.edges_signature graph view
+
+let diff_views (db1, view1) (db2, view2) =
+  let index db view =
+    List.filter_map
+      (fun cid ->
+        Option.map
+          (fun name -> (name, class_fingerprint db ~name cid))
+          (View_schema.local_name view cid))
+      (View_schema.classes view)
+  in
+  let i1 = index db1 view1 and i2 = index db2 view2 in
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := !problems @ [ s ]) fmt in
+  List.iter
+    (fun (name, fp1) ->
+      match List.assoc_opt name i2 with
+      | None -> add "class %s only in first view" name
+      | Some fp2 ->
+        if not (String.equal fp1 fp2) then
+          add "class %s differs:\n  S'': %s\n  S' : %s" name fp1 fp2)
+    i1;
+  List.iter
+    (fun (name, _) ->
+      if List.assoc_opt name i1 = None then add "class %s only in second view" name)
+    i2;
+  let e1 = Generation.edges_signature (Database.graph db1) view1 in
+  let e2 = Generation.edges_signature (Database.graph db2) view2 in
+  if not (String.equal e1 e2) then
+    add "hierarchies differ:\n  S'': %s\n  S' : %s" e1 e2;
+  !problems
+
+let updatable_classes db =
+  let graph = Database.graph db in
+  let classes = Schema_graph.classes graph in
+  let marked = ref Oid.Set.empty in
+  List.iter
+    (fun (k : Klass.t) ->
+      if Klass.is_base k then marked := Oid.Set.add k.cid !marked)
+    classes;
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun (k : Klass.t) ->
+        if
+          (not (Oid.Set.mem k.cid !marked))
+          && List.for_all (fun s -> Oid.Set.mem s !marked) (Klass.sources k)
+        then begin
+          marked := Oid.Set.add k.cid !marked;
+          progress := true
+        end)
+      classes
+  done;
+  !marked
+
+let all_updatable db view =
+  let marked = updatable_classes db in
+  List.for_all (fun cid -> Oid.Set.mem cid marked) (View_schema.classes view)

@@ -1,0 +1,38 @@
+(** Machine-checkable versions of the Section 6 propositions.
+
+    {b Proposition A} (per operator): the TSE translation produces a view
+    S'' equal to the view S' that direct modification would have produced
+    — same classes (by view-local name), same types, same extents, same
+    generalization edges.
+
+    {b Proposition B}: no {e other} view is affected by a TSE change — its
+    fingerprint (types + extents + edges, under view-local names) is
+    identical before and after.
+
+    {b Theorem 1}: every class of a view whose classes derive (directly or
+    transitively) from base classes through the object algebra is
+    updatable — checked by walking the derivation DAG and marking, exactly
+    as the proof does. *)
+
+val class_fingerprint :
+  Tse_db.Database.t -> name:string -> Tse_schema.Klass.cid -> string
+(** [name], type signature and extent of one class. *)
+
+val view_fingerprint : Tse_db.Database.t -> Tse_views.View_schema.t -> string
+(** Canonical, order-independent dump of everything a view user can
+    observe: per-class fingerprints plus the generated hierarchy. *)
+
+val diff_views :
+  (Tse_db.Database.t * Tse_views.View_schema.t) ->
+  (Tse_db.Database.t * Tse_views.View_schema.t) ->
+  string list
+(** Human-readable differences between two views (possibly over different
+    databases); empty when observationally equal. *)
+
+val updatable_classes :
+  Tse_db.Database.t -> Tse_store.Oid.Set.t
+(** The fixpoint marking of Theorem 1's proof: base classes are updatable;
+    a virtual class is updatable once all of its sources are. Returns the
+    set of updatable class ids. *)
+
+val all_updatable : Tse_db.Database.t -> Tse_views.View_schema.t -> bool

@@ -1,0 +1,1 @@
+lib/db/database.ml: Format Int List Printf String Tse_objmodel Tse_schema Tse_store

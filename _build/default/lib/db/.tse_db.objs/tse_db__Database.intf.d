@@ -1,0 +1,1 @@
+lib/db/database.mli: Format Tse_objmodel Tse_schema Tse_store

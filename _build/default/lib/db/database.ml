@@ -1,0 +1,468 @@
+module Oid = Tse_store.Oid
+module Value = Tse_store.Value
+module Heap = Tse_store.Heap
+module Stats = Tse_store.Stats
+module Schema_graph = Tse_schema.Schema_graph
+module Klass = Tse_schema.Klass
+module Prop = Tse_schema.Prop
+module Type_info = Tse_schema.Type_info
+module Expr = Tse_schema.Expr
+module Invariants = Tse_schema.Invariants
+module Slicing = Tse_objmodel.Slicing
+
+type cid = Klass.cid
+
+type t = {
+  heap : Heap.t;
+  graph : Schema_graph.t;
+  model : Slicing.t;
+  stats : Stats.t;
+  extents : Oid.Set.t ref Oid.Tbl.t;
+  base_member : Oid.Set.t ref Oid.Tbl.t;  (* object -> base classes *)
+  mutable deriv_order : cid list option;  (* cache *)
+  mutable listeners : (event -> unit) list;
+}
+
+and event =
+  | Object_created of Oid.t
+  | Object_destroyed of Oid.t
+  | Attr_set of Oid.t * string * Value.t
+  | Reclassified of Oid.t
+
+let create () =
+  let heap = Heap.create () in
+  let graph = Schema_graph.create ~gen:(Heap.gen heap) in
+  let stats = Stats.create () in
+  let model = Slicing.create ~graph ~heap ~stats in
+  {
+    heap;
+    graph;
+    model;
+    stats;
+    extents = Oid.Tbl.create 64;
+    base_member = Oid.Tbl.create 256;
+    deriv_order = None;
+    listeners = [];
+  }
+
+let add_listener t f = t.listeners <- t.listeners @ [ f ]
+let notify t event = List.iter (fun f -> f event) t.listeners
+
+let graph t = t.graph
+let heap t = t.heap
+let model t = t.model
+let stats t = t.stats
+let root t = Schema_graph.root t.graph
+
+let extent_ref t cid =
+  match Oid.Tbl.find_opt t.extents cid with
+  | Some r -> r
+  | None ->
+    let r = ref Oid.Set.empty in
+    Oid.Tbl.replace t.extents cid r;
+    r
+
+let extent t cid = !(extent_ref t cid)
+let extent_list t cid = Oid.Set.elements (extent t cid)
+let extent_size t cid = Oid.Set.cardinal (extent t cid)
+
+let note_new_class t cid =
+  ignore (extent_ref t cid);
+  t.deriv_order <- None
+
+let note_removed_class t cid =
+  Oid.Tbl.remove t.extents cid;
+  t.deriv_order <- None
+
+(* Virtual classes topologically sorted by the derivation DAG (sources
+   first). Base classes do not appear. *)
+let compute_derivation_order t =
+  let virtuals =
+    List.filter Klass.is_virtual (Schema_graph.classes t.graph)
+  in
+  let pending = Oid.Tbl.create 16 in
+  List.iter (fun (k : Klass.t) -> Oid.Tbl.replace pending k.cid k) virtuals;
+  let order = ref [] in
+  let rec emit (k : Klass.t) =
+    if Oid.Tbl.mem pending k.cid then begin
+      Oid.Tbl.remove pending k.cid;
+      List.iter
+        (fun src ->
+          match Oid.Tbl.find_opt pending src with
+          | Some ksrc -> emit ksrc
+          | None -> ())
+        (Klass.sources k);
+      order := k.cid :: !order
+    end
+  in
+  List.iter emit virtuals;
+  List.rev !order
+
+let derivation_order t =
+  match t.deriv_order with
+  | Some o -> o
+  | None ->
+    let o = compute_derivation_order t in
+    t.deriv_order <- Some o;
+    o
+
+let base_membership t o =
+  match Oid.Tbl.find_opt t.base_member o with
+  | Some r -> !r
+  | None -> Oid.Set.empty
+
+let is_member t o cid = Slicing.is_member t.model o cid
+let member_classes t o = Slicing.member_classes t.model o
+let objects t = Slicing.objects t.model
+let object_count t = Slicing.object_count t.model
+let mem_object t o = Oid.Tbl.mem t.base_member o
+
+(* ------------------------------------------------------------------ *)
+(* Property access                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve which member class's local definition of [name] applies to [o]:
+   most specific member class; among unrelated candidates a promoted
+   definition wins; remaining ties are a real ambiguity. *)
+let resolve_prop t o name =
+  let candidates =
+    List.filter_map
+      (fun cid ->
+        match Klass.local_prop (Schema_graph.find_exn t.graph cid) name with
+        | Some p -> Some (cid, p)
+        | None -> None)
+      (member_classes t o)
+  in
+  match candidates with
+  | [] -> None
+  | [ c ] -> Some c
+  | candidates ->
+    let not_overridden (cid, _) =
+      not
+        (List.exists
+           (fun (other, _) ->
+             (not (Oid.equal other cid))
+             && Schema_graph.is_strict_ancestor t.graph ~anc:cid ~desc:other)
+           candidates)
+    in
+    let minimal = List.filter not_overridden candidates in
+    (match minimal with
+    | [ c ] -> Some c
+    | minimal -> begin
+      match List.filter (fun (_, (p : Prop.t)) -> p.promoted) minimal with
+      | [ c ] -> Some c
+      | _ ->
+        (* distinct unrelated properties under one name: invocable only
+           after renaming (Section 6.1.1) *)
+        let distinct_uids =
+          List.sort_uniq Int.compare
+            (List.map (fun (_, (p : Prop.t)) -> p.uid) minimal)
+        in
+        if List.length distinct_uids <= 1 then
+          (match minimal with c :: _ -> Some c | [] -> None)
+        else
+          raise
+            (Expr.Type_error
+               (Printf.sprintf "ambiguous property %s (rename to disambiguate)"
+                  name))
+    end)
+
+let rec get_prop t o name =
+  match resolve_prop t o name with
+  | None -> raise (Expr.Unknown_property name)
+  | Some (_cid, p) -> begin
+    match p.Prop.body with
+    | Prop.Stored _ -> Slicing.get_attr t.model o name
+    | Prop.Method e -> Expr.eval (env t o) e
+  end
+
+and env t o =
+  {
+    Expr.self = o;
+    get = (fun name -> get_prop t o name);
+    member_of =
+      (fun cname ->
+        match Schema_graph.find_by_name t.graph cname with
+        | Some k -> is_member t o k.cid
+        | None -> false);
+  }
+
+let eval t o e = Expr.eval (env t o) e
+
+let holds t o e =
+  (* an object that lacks the property — or holds a null that cannot be
+     ordered — simply does not satisfy the predicate *)
+  match Expr.eval_bool (env t o) e with
+  | b -> b
+  | exception Expr.Unknown_property _ -> false
+  | exception Expr.Type_error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Membership fixpoint                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let isa_closure t set =
+  Oid.Set.fold
+    (fun c acc -> Oid.Set.union acc (Schema_graph.ancestors t.graph c))
+    set set
+
+let formula_holds t o current (k : Klass.t) =
+  let mem c = Oid.Set.mem c current in
+  match k.kind with
+  | Klass.Base -> Oid.Set.mem k.cid current
+  | Klass.Virtual d -> begin
+    match d with
+    | Klass.Select (c, pred) -> mem c && holds t o pred
+    | Klass.Hide (_, c) -> mem c
+    | Klass.Refine (_, c) -> mem c
+    | Klass.Refine_from { target; _ } -> mem target
+    | Klass.Union (a, b) -> mem a || mem b
+    | Klass.Intersect (a, b) -> mem a && mem b
+    | Klass.Difference (a, b) -> mem a && not (mem b)
+  end
+
+let remove_from_extents t o =
+  Oid.Tbl.iter (fun _ r -> r := Oid.Set.remove o !r) t.extents
+
+let sync_extents t o membership =
+  remove_from_extents t o;
+  Oid.Set.iter (fun cid -> extent_ref t cid := Oid.Set.add o !(extent_ref t cid)) membership
+
+(* Desired membership of [o]: its base classes, closed upward, plus every
+   virtual class whose derivation formula holds, iterated to a fixpoint.
+   Implementation objects are synchronized eagerly after each round so
+   that predicates can read attributes introduced by refine classes. *)
+let reclassify t o =
+  let base = base_membership t o in
+  let order = derivation_order t in
+  let rootc = root t in
+  (* Formulas are evaluated IN-ROUND against the set built so far: the
+     derivation order guarantees every class's sources were decided
+     earlier in the same pass, so one pass computes the complete
+     membership — crucially, a class the object remains a member of is
+     never transiently absent, which would destroy its implementation
+     slice (and the stored data it carries) during synchronization. *)
+  let round () =
+    let m = ref (isa_closure t base) in
+    List.iter
+      (fun cid ->
+        let k = Schema_graph.find_exn t.graph cid in
+        if formula_holds t o !m k then begin
+          m := Oid.Set.add cid !m;
+          m := Oid.Set.union !m (Schema_graph.ancestors t.graph cid)
+        end)
+      order;
+    Oid.Set.remove rootc !m
+  in
+  let rec fix current fuel =
+    let next = round () in
+    Slicing.set_membership t.model o (Oid.Set.elements next);
+    if Oid.Set.equal next current then next
+    else if fuel = 0 then next (* nonmonotone derivations may not converge *)
+    else fix next (fuel - 1)
+  in
+  let final = fix (Oid.Set.remove rootc (isa_closure t base)) 4 in
+  sync_extents t o final;
+  notify t (Reclassified o)
+
+let reclassify_all t = List.iter (fun o -> reclassify t o) (objects t)
+
+(* ------------------------------------------------------------------ *)
+(* Object lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let set_attr t o name v =
+  (match resolve_prop t o name with
+  | None -> raise (Expr.Unknown_property name)
+  | Some (_, p) -> begin
+    match p.Prop.body with
+    | Prop.Method _ ->
+      raise (Expr.Type_error (Printf.sprintf "%s is a method, not settable" name))
+    | Prop.Stored { ty; _ } ->
+      if not (Value.conforms v ty) then
+        raise
+          (Expr.Type_error
+             (Format.asprintf "%a does not conform to %a for attribute %s"
+                Value.pp v Value.pp_ty ty name))
+  end);
+  Slicing.set_attr t.model o name v;
+  notify t (Attr_set (o, name, v));
+  reclassify t o
+
+(* Stored base membership is kept MINIMAL: a class implied by another
+   member (as its ancestor) is dropped, and the upward closure is
+   recomputed at every reclassification. This is what lets a later
+   delete_edge change what an object is a member of — closures are never
+   frozen at creation time. *)
+let minimal_bases t set =
+  Oid.Set.filter
+    (fun c ->
+      not
+        (Oid.Set.exists
+           (fun d ->
+             (not (Oid.equal c d))
+             && Schema_graph.is_strict_ancestor t.graph ~anc:c ~desc:d)
+           set))
+    set
+
+let create_object ?(init = []) t cid =
+  let k = Schema_graph.find_exn t.graph cid in
+  if Klass.is_virtual k then
+    invalid_arg
+      (Printf.sprintf "Database.create_object: %s is virtual" k.name);
+  let o = Slicing.create_object t.model cid in
+  Oid.Tbl.replace t.base_member o (ref (Oid.Set.singleton cid));
+  (* classify first so attributes carried by refine slices are storable;
+     each assignment re-derives select-class memberships *)
+  reclassify t o;
+  List.iter (fun (name, v) -> set_attr t o name v) init;
+  notify t (Object_created o);
+  o
+
+let destroy_object t o =
+  remove_from_extents t o;
+  Oid.Tbl.remove t.base_member o;
+  Slicing.destroy_object t.model o;
+  notify t (Object_destroyed o)
+
+let add_base_membership t o cid =
+  let k = Schema_graph.find_exn t.graph cid in
+  if Klass.is_virtual k then
+    invalid_arg "Database.add_base_membership: virtual class";
+  let r =
+    match Oid.Tbl.find_opt t.base_member o with
+    | Some r -> r
+    | None -> invalid_arg "Database.add_base_membership: unknown object"
+  in
+  r := minimal_bases t (Oid.Set.add cid !r);
+  reclassify t o
+
+let remove_base_membership t o cid =
+  let r =
+    match Oid.Tbl.find_opt t.base_member o with
+    | Some r -> r
+    | None -> invalid_arg "Database.remove_base_membership: unknown object"
+  in
+  (* expand to the full implied base membership, subtract the class and
+     its descendants, and re-minimalize: losing TA-ness this way keeps the
+     TeachingStaff-ness the object had through TA *)
+  let is_base c = Klass.is_base (Schema_graph.find_exn t.graph c) in
+  let expanded =
+    Oid.Set.filter is_base (isa_closure t !r) |> Oid.Set.remove (root t)
+  in
+  let dead = Oid.Set.add cid (Schema_graph.descendants t.graph cid) in
+  r := minimal_bases t (Oid.Set.diff expanded dead);
+  reclassify t o
+
+
+let restore ~heap ~graph ~bases =
+  let stats = Stats.create () in
+  let model = Slicing.rebuild ~graph ~heap ~stats in
+  let t =
+    {
+      heap;
+      graph;
+      model;
+      stats;
+      extents = Oid.Tbl.create 64;
+      base_member = Oid.Tbl.create 256;
+      deriv_order = None;
+      listeners = [];
+    }
+  in
+  List.iter
+    (fun (o, cids) ->
+      Oid.Tbl.replace t.base_member o
+        (ref (List.fold_left (fun acc c -> Oid.Set.add c acc) Oid.Set.empty cids)))
+    bases;
+  (* extents re-derived from the restored membership facts *)
+  List.iter
+    (fun o ->
+      List.iter
+        (fun cid -> extent_ref t cid := Oid.Set.add o !(extent_ref t cid))
+        (member_classes t o))
+    (objects t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Consistency oracle                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check t =
+  let problems = ref (Invariants.check t.graph) in
+  let add fmt = Format.kasprintf (fun s -> problems := !problems @ [ s ]) fmt in
+  let name_of = Schema_graph.name_of t.graph in
+  (* extent index vs model membership *)
+  List.iter
+    (fun (k : Klass.t) ->
+      if not (Oid.equal k.cid (root t)) then begin
+        let ext = extent t k.cid in
+        List.iter
+          (fun o ->
+            if not (is_member t o k.cid) then
+              add "extent of %s lists non-member %s" k.name (Oid.to_string o))
+          (Oid.Set.elements ext)
+      end)
+    (Schema_graph.classes t.graph);
+  List.iter
+    (fun o ->
+      List.iter
+        (fun cid ->
+          if not (Oid.Set.mem o (extent t cid)) then
+            add "object %s member of %s but missing from its extent"
+              (Oid.to_string o) (name_of cid))
+        (member_classes t o))
+    (objects t);
+  (* is-a extent subset invariant *)
+  List.iter
+    (fun (k : Klass.t) ->
+      List.iter
+        (fun sup ->
+          if not (Oid.equal sup (root t)) then
+            if not (Oid.Set.subset (extent t k.cid) (extent t sup)) then
+              add "extent(%s) not a subset of extent(%s)" k.name (name_of sup))
+        k.supers)
+    (Schema_graph.classes t.graph);
+  (* derivation formulas *)
+  List.iter
+    (fun cid ->
+      let k = Schema_graph.find_exn t.graph cid in
+      List.iter
+        (fun o ->
+          let current =
+            List.fold_left
+              (fun acc c -> Oid.Set.add c acc)
+              Oid.Set.empty (member_classes t o)
+          in
+          let should = formula_holds t o current k in
+          let has = Oid.Set.mem cid current in
+          if should && not has then
+            add "object %s should be a member of %s by its derivation"
+              (Oid.to_string o) k.name
+          else if has && not should then
+            add "object %s is a member of %s against its derivation"
+              (Oid.to_string o) k.name)
+        (objects t))
+    (derivation_order t);
+  !problems
+
+let check_exn t =
+  match check t with
+  | [] -> ()
+  | problems ->
+    failwith ("database inconsistent:\n  " ^ String.concat "\n  " problems)
+
+let pp_extents ppf t =
+  let classes =
+    Schema_graph.classes t.graph
+    |> List.sort (fun (a : Klass.t) b -> String.compare a.name b.name)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (k : Klass.t) ->
+      if not (Oid.equal k.cid (root t)) then
+        Format.fprintf ppf "%s: {%s}@ " k.name
+          (String.concat ", "
+             (List.map Oid.to_string (extent_list t k.cid))))
+    classes;
+  Format.fprintf ppf "@]"

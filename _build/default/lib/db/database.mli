@@ -1,0 +1,137 @@
+(** The database kernel: one global schema, one object-slicing object
+    model, one shared persistent object population (paper, Figure 6's
+    "Global Schema Manager" layer).
+
+    Membership semantics implemented here:
+    - an object carries an explicit set of {e base} classes it was placed
+      into (closed upward within the base hierarchy);
+    - membership of every {e virtual} class is defined by its derivation
+      formula (Section 3.2) and recomputed to a fixpoint whenever an
+      object's base membership or attribute values change;
+    - class extents are the materialized global extents, indexed per class
+      for scans; [check] cross-validates extents, the object model and the
+      derivation formulas. *)
+
+type t
+type cid = Tse_schema.Klass.cid
+
+val create : unit -> t
+
+val restore :
+  heap:Tse_store.Heap.t ->
+  graph:Tse_schema.Schema_graph.t ->
+  bases:(Tse_store.Oid.t * cid list) list ->
+  t
+(** Reassemble a database from catalog parts: a loaded heap, a loaded
+    schema graph (sharing the heap's OID generator) and the per-object
+    explicit base memberships. The object model is rebuilt by scanning
+    the heap; extents are re-derived from the restored memberships. *)
+
+val graph : t -> Tse_schema.Schema_graph.t
+val heap : t -> Tse_store.Heap.t
+val model : t -> Tse_objmodel.Slicing.t
+val stats : t -> Tse_store.Stats.t
+val root : t -> cid
+
+(** {2 Objects} *)
+
+val create_object :
+  ?init:(string * Tse_store.Value.t) list -> t -> cid -> Tse_store.Oid.t
+(** Create a conceptual object as a member of the given {e base} class,
+    assign the listed attributes, then derive its virtual-class
+    memberships.
+    @raise Invalid_argument if the class is virtual (update operators
+    translate virtual-class creation into base-class creation). *)
+
+val destroy_object : t -> Tse_store.Oid.t -> unit
+val objects : t -> Tse_store.Oid.t list
+val object_count : t -> int
+val mem_object : t -> Tse_store.Oid.t -> bool
+
+(** {2 Membership} *)
+
+val add_base_membership : t -> Tse_store.Oid.t -> cid -> unit
+(** Place the object into a base class (and, implicitly, its base
+    ancestors), then reclassify. *)
+
+val remove_base_membership : t -> Tse_store.Oid.t -> cid -> unit
+(** Remove the object from a base class and that class's base descendants,
+    then reclassify. *)
+
+val base_membership : t -> Tse_store.Oid.t -> Tse_store.Oid.Set.t
+val is_member : t -> Tse_store.Oid.t -> cid -> bool
+val member_classes : t -> Tse_store.Oid.t -> cid list
+
+val reclassify : t -> Tse_store.Oid.t -> unit
+(** Recompute the object's virtual-class memberships to a fixpoint and
+    synchronize implementation objects and extents. *)
+
+val reclassify_all : t -> unit
+
+(** {2 Extents} *)
+
+val extent : t -> cid -> Tse_store.Oid.Set.t
+(** The global extent (paper, footnote 14: "extent" always means global
+    extent). *)
+
+val extent_list : t -> cid -> Tse_store.Oid.t list
+val extent_size : t -> cid -> int
+
+(** {2 Properties} *)
+
+val get_prop : t -> Tse_store.Oid.t -> string -> Tse_store.Value.t
+(** Read a property: a stored attribute slot, or a derived method
+    evaluated on the fly.
+    @raise Tse_schema.Expr.Unknown_property if undefined for the object.
+    @raise Tse_schema.Expr.Type_error if the name is ambiguous for the
+    object (unresolved multiple-inheritance conflict). *)
+
+val set_attr : t -> Tse_store.Oid.t -> string -> Tse_store.Value.t -> unit
+(** Write a stored attribute (type-checked against its declaration), then
+    reclassify the object (its select-class memberships may change).
+    @raise Tse_schema.Expr.Type_error on type mismatch or when the target
+    is a method. *)
+
+val env : t -> Tse_store.Oid.t -> Tse_schema.Expr.env
+val eval : t -> Tse_store.Oid.t -> Tse_schema.Expr.t -> Tse_store.Value.t
+val holds : t -> Tse_store.Oid.t -> Tse_schema.Expr.t -> bool
+(** Predicate evaluation; unknown properties make the predicate [false]
+    rather than raising (an object that lacks the attribute cannot satisfy
+    a condition on it). *)
+
+(** {2 Change notifications}
+
+    Observers for derived structures (indexes, caches). Events fire after
+    the database state has changed. *)
+
+type event =
+  | Object_created of Tse_store.Oid.t
+  | Object_destroyed of Tse_store.Oid.t
+  | Attr_set of Tse_store.Oid.t * string * Tse_store.Value.t
+      (** object, attribute, new value *)
+  | Reclassified of Tse_store.Oid.t
+
+val add_listener : t -> (event -> unit) -> unit
+
+(** {2 Registration hooks} *)
+
+val note_new_class : t -> cid -> unit
+(** Tell the kernel a class was added to the graph (invalidates the cached
+    derivation order and creates an empty extent). *)
+
+val note_removed_class : t -> cid -> unit
+
+val derivation_order : t -> cid list
+(** Virtual classes ordered so every class follows its sources. *)
+
+(** {2 Consistency oracle} *)
+
+val check : t -> string list
+(** Cross-validates: extent index vs object-model membership; derivation
+    formulas vs actual virtual-class extents; the is-a extent-subset
+    invariant; plus {!Tse_schema.Invariants.check} on the schema. Empty
+    means consistent. *)
+
+val check_exn : t -> unit
+
+val pp_extents : Format.formatter -> t -> unit

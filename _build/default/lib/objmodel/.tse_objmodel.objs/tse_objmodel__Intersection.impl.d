@@ -1,0 +1,1 @@
+lib/objmodel/intersection.ml: Hashtbl List Printf String Tse_schema Tse_store

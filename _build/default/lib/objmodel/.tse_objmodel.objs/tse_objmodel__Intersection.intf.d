@@ -1,0 +1,1 @@
+lib/objmodel/intersection.mli: Model_sig Tse_schema Tse_store

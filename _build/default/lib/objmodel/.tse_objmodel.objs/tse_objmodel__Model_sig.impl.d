@@ -1,0 +1,1 @@
+lib/objmodel/model_sig.ml: Tse_schema Tse_store

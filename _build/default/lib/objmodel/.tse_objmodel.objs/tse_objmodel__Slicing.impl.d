@@ -1,0 +1,1 @@
+lib/objmodel/slicing.ml: Int List Printf String Tse_schema Tse_store

@@ -1,0 +1,191 @@
+module Oid = Tse_store.Oid
+module Value = Tse_store.Value
+module Heap = Tse_store.Heap
+module Stats = Tse_store.Stats
+module Schema_graph = Tse_schema.Schema_graph
+module Klass = Tse_schema.Klass
+module Prop = Tse_schema.Prop
+module Type_info = Tse_schema.Type_info
+module Expr = Tse_schema.Expr
+
+type t = {
+  graph : Schema_graph.t;
+  heap : Heap.t;
+  stats : Stats.t;
+  (* object -> the user-requested type combination its class realizes *)
+  requested : Oid.t list Oid.Tbl.t;
+  (* canonical key of a type combination -> the intersection class *)
+  intersections : (string, Oid.t) Hashtbl.t;
+  mutable created : int;
+}
+
+let name = "intersection-class"
+
+let create ~graph ~heap ~stats =
+  {
+    graph;
+    heap;
+    stats;
+    requested = Oid.Tbl.create 256;
+    intersections = Hashtbl.create 32;
+    created = 0;
+  }
+
+let graph t = t.graph
+let heap t = t.heap
+let stats t = t.stats
+let intersection_classes_created t = t.created
+
+let class_of t o =
+  let tag = Heap.tag_of t.heap o in
+  Oid.of_int (int_of_string tag)
+
+let requested_types t o =
+  match Oid.Tbl.find_opt t.requested o with
+  | Some cs -> cs
+  | None -> invalid_arg (Printf.sprintf "Intersection: unknown object %s" (Oid.to_string o))
+
+(* Drop classes implied by another requested class (a subclass carries all
+   its superclasses' types already). *)
+let minimal_combination t cids =
+  let cids = List.sort_uniq Oid.compare cids in
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun d ->
+             (not (Oid.equal c d))
+             && Schema_graph.is_strict_ancestor t.graph ~anc:c ~desc:d)
+           cids))
+    cids
+
+let combination_key cids =
+  String.concat "&" (List.map (fun c -> string_of_int (Oid.to_int c)) cids)
+
+let class_for t cids =
+  match minimal_combination t cids with
+  | [] -> invalid_arg "Intersection.class_for: empty combination"
+  | [ c ] -> c
+  | cids -> begin
+    let key = combination_key cids in
+    match Hashtbl.find_opt t.intersections key with
+    | Some c -> c
+    | None ->
+      let names = List.map (Schema_graph.name_of t.graph) cids in
+      let name = String.concat "&" names in
+      (* Avoid clashing with a user class of the same name. *)
+      let name =
+        if Schema_graph.find_by_name t.graph name = None then name
+        else name ^ "#" ^ string_of_int (Hashtbl.length t.intersections)
+      in
+      let cid =
+        Schema_graph.register_base t.graph ~name ~props:[] ~supers:cids
+      in
+      Hashtbl.replace t.intersections key cid;
+      t.created <- t.created + 1;
+      t.stats.classes_created <- t.stats.classes_created + 1;
+      cid
+  end
+
+let create_object t cid =
+  let o = Heap.alloc t.heap ~tag:(string_of_int (Oid.to_int cid)) in
+  Oid.Tbl.replace t.requested o [ cid ];
+  t.stats.oids_allocated <- t.stats.oids_allocated + 1;
+  t.stats.objects_created <- t.stats.objects_created + 1;
+  o
+
+let destroy_object t o =
+  ignore (requested_types t o);
+  Oid.Tbl.remove t.requested o;
+  Heap.free t.heap o
+
+(* GemStone-style dynamic reclassification: create a fresh object of the
+   target class, copy every value, swap identities, drop the husk. The
+   temporary OID is not charged to [oids_allocated] because it does not
+   persist; the copy and swap costs are what Table 1 reports. *)
+let reclassify t o target =
+  if not (Oid.equal (class_of t o) target) then begin
+    let tmp = Heap.alloc t.heap ~tag:(string_of_int (Oid.to_int target)) in
+    Heap.copy_slots t.heap ~src:o ~dst:tmp;
+    t.stats.copies <- t.stats.copies + 1;
+    Heap.swap_identity t.heap o tmp;
+    t.stats.identity_swaps <- t.stats.identity_swaps + 1;
+    Heap.free t.heap tmp
+  end
+
+let add_to_class t o cid =
+  let requested = requested_types t o in
+  if not (List.exists (Oid.equal cid) requested) then begin
+    let requested = minimal_combination t (cid :: requested) in
+    Oid.Tbl.replace t.requested o requested;
+    reclassify t o (class_for t requested)
+  end
+
+let remove_from_class t o cid =
+  let root = Schema_graph.root t.graph in
+  if Oid.equal cid root then
+    invalid_arg "Intersection.remove_from_class: cannot remove from root";
+  if Schema_graph.is_ancestor_or_self t.graph ~anc:cid ~desc:(class_of t o)
+  then begin
+    (* losing a type keeps the types it merely implied: expand the
+       combination to its full upward closure, subtract the class and its
+       subclasses, re-minimalize — mirroring the slicing model, where the
+       ancestors' implementation objects survive *)
+    let requested = requested_types t o in
+    let expanded =
+      List.fold_left
+        (fun acc c ->
+          Oid.Set.union acc (Oid.Set.add c (Schema_graph.ancestors t.graph c)))
+        Oid.Set.empty requested
+      |> Oid.Set.remove root
+    in
+    let dead = Oid.Set.add cid (Schema_graph.descendants t.graph cid) in
+    let requested' =
+      minimal_combination t (Oid.Set.elements (Oid.Set.diff expanded dead))
+    in
+    let requested' = if requested' = [] then [ root ] else requested' in
+    Oid.Tbl.replace t.requested o requested';
+    reclassify t o (class_for t requested')
+  end
+
+let is_member t o cid =
+  Oid.equal cid (Schema_graph.root t.graph)
+  ||
+  let c = class_of t o in
+  Schema_graph.is_ancestor_or_self t.graph ~anc:cid ~desc:c
+
+let member_classes t o =
+  let c = class_of t o in
+  let root = Schema_graph.root t.graph in
+  Oid.Set.elements
+    (Oid.Set.remove root (Oid.Set.add c (Schema_graph.ancestors t.graph c)))
+
+let prop_of t o attr_name =
+  match Type_info.find_usable t.graph (class_of t o) attr_name with
+  | Some p when Prop.is_stored p -> p
+  | Some _ | None -> raise (Expr.Unknown_property attr_name)
+
+let get_attr t o attr_name =
+  (* the architectural advantage this model trades for its other costs:
+     every attribute — inherited or not — is a direct slot read on the one
+     contiguous object (Table 1's query-performance row); the type lookup
+     is only needed when the slot is empty (unknown name vs. default) *)
+  let v = Heap.get_slot t.heap o attr_name in
+  if not (Value.equal v Value.Null) then v
+  else
+    let p = prop_of t o attr_name in
+    match p.Prop.body with
+    | Prop.Stored { default; _ } -> default
+    | Prop.Method _ -> Value.Null
+
+let set_attr t o attr_name v =
+  ignore (prop_of t o attr_name);
+  let old = Heap.get_slot t.heap o attr_name in
+  let old_bytes = if Value.equal old Value.Null then 0 else Value.size_bytes old in
+  let new_bytes = if Value.equal v Value.Null then 0 else Value.size_bytes v in
+  t.stats.data_bytes <- t.stats.data_bytes - old_bytes + new_bytes;
+  Heap.set_slot t.heap o attr_name v
+
+let cast t o cid = if is_member t o cid then Some o else None
+let objects t = Oid.Tbl.fold (fun o _ acc -> o :: acc) t.requested []
+let object_count t = Oid.Tbl.length t.requested

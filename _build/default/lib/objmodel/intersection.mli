@@ -1,0 +1,33 @@
+(** The intersection-class architecture: the comparison baseline of
+    Section 4.
+
+    An object is one contiguous heap cell belonging to exactly one class.
+    Multiple classification is emulated by {e intersection classes}: when
+    an object must carry types [C1] and [C2], a class [C1&C2], subclass of
+    both, is created on the fly (if absent) and the object is reclassified
+    into it. Dynamic reclassification creates a fresh object of the target
+    class, copies every attribute value, and swaps the object identities —
+    the GemStone-style mechanism the paper describes.
+
+    Costs surfaced for Table 1: one OID per object; intersection classes
+    accumulate (worst case [2^n_classes]); reclassification pays a full
+    copy plus an identity swap; inherited-attribute access is a single slot
+    read (the row where this model wins). *)
+
+include Model_sig.S
+
+val class_of : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid
+(** The single class the object physically belongs to (possibly an
+    intersection class). *)
+
+val requested_types : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid list
+(** The user-requested type set whose combination the current class
+    realizes. *)
+
+val intersection_classes_created : t -> int
+
+val class_for :
+  t -> Tse_schema.Klass.cid list -> Tse_schema.Klass.cid
+(** The class realizing exactly this combination of types, creating an
+    intersection class if none exists.
+    @raise Invalid_argument on an empty list. *)

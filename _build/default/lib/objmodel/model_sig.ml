@@ -1,0 +1,53 @@
+(** Common signature of the two multiple-classification architectures of
+    Section 4, so the Table 1 benchmarks can drive both through one
+    interface. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create :
+    graph:Tse_schema.Schema_graph.t ->
+    heap:Tse_store.Heap.t ->
+    stats:Tse_store.Stats.t ->
+    t
+
+  val graph : t -> Tse_schema.Schema_graph.t
+  val heap : t -> Tse_store.Heap.t
+  val stats : t -> Tse_store.Stats.t
+
+  val create_object : t -> Tse_schema.Klass.cid -> Tse_store.Oid.t
+  (** New conceptual object, member of the class (and implicitly of all its
+      superclasses). *)
+
+  val destroy_object : t -> Tse_store.Oid.t -> unit
+
+  val add_to_class : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid -> unit
+  (** Dynamic classification: the object acquires the class's type. *)
+
+  val remove_from_class : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid -> unit
+  (** The object loses the type (and that of the class's descendants). *)
+
+  val is_member : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid -> bool
+
+  val member_classes : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid list
+  (** Every class the object is currently a member of, superclasses
+      included, root excluded. *)
+
+  val get_attr : t -> Tse_store.Oid.t -> string -> Tse_store.Value.t
+  (** Resolved stored-attribute read.
+      @raise Tse_schema.Expr.Unknown_property if no member class defines
+      the attribute. *)
+
+  val set_attr : t -> Tse_store.Oid.t -> string -> Tse_store.Value.t -> unit
+
+  val cast : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid -> Tse_store.Oid.t option
+  (** View the object as an instance of the given class: the Table 1
+      "casting" row. Object-slicing switches to the class's implementation
+      object; intersection-class checks membership and returns the single
+      physical object. *)
+
+  val objects : t -> Tse_store.Oid.t list
+  val object_count : t -> int
+end

@@ -1,0 +1,263 @@
+module Oid = Tse_store.Oid
+module Value = Tse_store.Value
+module Heap = Tse_store.Heap
+module Stats = Tse_store.Stats
+module Schema_graph = Tse_schema.Schema_graph
+module Klass = Tse_schema.Klass
+module Prop = Tse_schema.Prop
+module Expr = Tse_schema.Expr
+
+type t = {
+  graph : Schema_graph.t;
+  heap : Heap.t;
+  stats : Stats.t;
+  (* conceptual oid -> (cid -> impl oid); the heap back-pointers are the
+     persistent form, this table is the fast in-memory image. *)
+  impls : Oid.t Oid.Tbl.t Oid.Tbl.t;
+  (* impl oid -> conceptual oid *)
+  owners : Oid.t Oid.Tbl.t;
+}
+
+let name = "object-slicing"
+
+let create ~graph ~heap ~stats =
+  { graph; heap; stats; impls = Oid.Tbl.create 256; owners = Oid.Tbl.create 256 }
+
+let graph t = t.graph
+let heap t = t.heap
+let stats t = t.stats
+
+let conceptual_tag = "@obj"
+let impl_tag cid = "@impl:" ^ string_of_int (Oid.to_int cid)
+
+let impl_table t o =
+  match Oid.Tbl.find_opt t.impls o with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Slicing: unknown object %s" (Oid.to_string o))
+
+let impl_of t o cid =
+  match Oid.Tbl.find_opt t.impls o with
+  | None -> None
+  | Some tbl -> Oid.Tbl.find_opt tbl cid
+
+let impl_count t o = Oid.Tbl.length (impl_table t o)
+let conceptual_of t impl = Oid.Tbl.find_opt t.owners impl
+let is_member t o cid =
+  Oid.equal cid (Schema_graph.root t.graph)
+  || (match Oid.Tbl.find_opt t.impls o with
+     | None -> false
+     | Some tbl -> Oid.Tbl.mem tbl cid)
+
+let member_classes t o =
+  Oid.Tbl.fold (fun cid _ acc -> cid :: acc) (impl_table t o) []
+  |> List.sort Oid.compare
+
+(* Create the implementation object representing [o] at [cid]. *)
+let add_impl t o cid =
+  let tbl = impl_table t o in
+  if not (Oid.Tbl.mem tbl cid) then begin
+    let impl = Heap.alloc t.heap ~tag:(impl_tag cid) in
+    Heap.set_slot t.heap impl "__conceptual" (Value.Ref o);
+    Heap.set_slot t.heap o ("__impl:" ^ string_of_int (Oid.to_int cid)) (Value.Ref impl);
+    Oid.Tbl.replace tbl cid impl;
+    Oid.Tbl.replace t.owners impl o;
+    t.stats.oids_allocated <- t.stats.oids_allocated + 1;
+    t.stats.pointers <- t.stats.pointers + 2
+  end
+
+let remove_impl t o cid =
+  let tbl = impl_table t o in
+  match Oid.Tbl.find_opt tbl cid with
+  | None -> ()
+  | Some impl ->
+    Heap.free t.heap impl;
+    Heap.remove_slot t.heap o ("__impl:" ^ string_of_int (Oid.to_int cid));
+    Oid.Tbl.remove tbl cid;
+    Oid.Tbl.remove t.owners impl
+
+(* Membership closure: joining a class implies joining its ancestors
+   (the root stays implicit). *)
+let ensure_member t o cid =
+  let root = Schema_graph.root t.graph in
+  if not (Oid.equal cid root) then begin
+    add_impl t o cid;
+    Oid.Set.iter
+      (fun anc -> if not (Oid.equal anc root) then add_impl t o anc)
+      (Schema_graph.ancestors t.graph cid)
+  end
+
+let set_membership t o cids =
+  let root = Schema_graph.root t.graph in
+  let desired =
+    List.fold_left
+      (fun acc c -> if Oid.equal c root then acc else Oid.Set.add c acc)
+      Oid.Set.empty cids
+  in
+  let current =
+    Oid.Tbl.fold (fun cid _ acc -> Oid.Set.add cid acc) (impl_table t o)
+      Oid.Set.empty
+  in
+  Oid.Set.iter (fun c -> add_impl t o c) (Oid.Set.diff desired current);
+  Oid.Set.iter (fun c -> remove_impl t o c) (Oid.Set.diff current desired)
+
+let create_object t cid =
+  let o = Heap.alloc t.heap ~tag:conceptual_tag in
+  Oid.Tbl.replace t.impls o (Oid.Tbl.create 4);
+  t.stats.oids_allocated <- t.stats.oids_allocated + 1;
+  t.stats.objects_created <- t.stats.objects_created + 1;
+  ensure_member t o cid;
+  o
+
+let destroy_object t o =
+  let tbl = impl_table t o in
+  Oid.Tbl.iter
+    (fun _ impl ->
+      Heap.free t.heap impl;
+      Oid.Tbl.remove t.owners impl)
+    tbl;
+  Oid.Tbl.remove t.impls o;
+  Heap.free t.heap o
+
+let add_to_class = ensure_member
+
+let remove_from_class t o cid =
+  if Oid.equal cid (Schema_graph.root t.graph) then
+    invalid_arg "Slicing.remove_from_class: cannot remove from root";
+  (* Losing a type implies losing every subtype of it. *)
+  remove_impl t o cid;
+  Oid.Set.iter (fun d -> remove_impl t o d) (Schema_graph.descendants t.graph cid)
+
+let resolve_defining_class t o attr_name =
+  let member = member_classes t o in
+  let defines cid =
+    match Klass.local_prop (Schema_graph.find_exn t.graph cid) attr_name with
+    | Some p when Prop.is_stored p -> Some (cid, p)
+    | Some _ | None -> None
+  in
+  let candidates = List.filter_map defines member in
+  match candidates with
+  | [] -> None
+  | [ (cid, _) ] -> Some cid
+  | candidates ->
+    let uids =
+      List.sort_uniq Int.compare
+        (List.map (fun (_, (p : Prop.t)) -> p.uid) candidates)
+    in
+    if List.length uids = 1 then begin
+      (* one property, several local copies (promotion): the slot data
+         lives at the ORIGIN class — a promoted copy is a type-level
+         artifact, not a storage location *)
+      let (_, p0) = List.hd candidates in
+      match
+        List.find_opt (fun (cid, _) -> Oid.equal cid p0.Prop.origin) candidates
+      with
+      | Some (cid, _) -> Some cid
+      | None -> begin
+        match
+          List.find_opt (fun (_, (p : Prop.t)) -> not p.promoted) candidates
+        with
+        | Some (cid, _) -> Some cid
+        | None -> (
+          match List.sort (fun (a, _) (b, _) -> Oid.compare a b) candidates with
+          | (cid, _) :: _ -> Some cid
+          | [] -> None)
+      end
+    end
+    else begin
+      (* genuinely different properties: most specific member class wins;
+         among unrelated candidates a promoted definition has priority,
+         then lowest cid for determinism *)
+      let not_overridden (cid, _) =
+        not
+          (List.exists
+             (fun (other, _) ->
+               (not (Oid.equal other cid))
+               && Schema_graph.is_strict_ancestor t.graph ~anc:cid ~desc:other)
+             candidates)
+      in
+      let minimal = List.filter not_overridden candidates in
+      let minimal =
+        match List.filter (fun (_, (p : Prop.t)) -> p.promoted) minimal with
+        | [] -> minimal
+        | promoted -> promoted
+      in
+      match List.sort (fun (a, _) (b, _) -> Oid.compare a b) minimal with
+      | (cid, _) :: _ -> Some cid
+      | [] -> None
+    end
+
+let get_attr t o attr_name =
+  match resolve_defining_class t o attr_name with
+  | None -> raise (Expr.Unknown_property attr_name)
+  | Some cid ->
+    let impl =
+      match impl_of t o cid with Some i -> i | None -> assert false
+    in
+    let v = Heap.get_slot t.heap impl attr_name in
+    if not (Value.equal v Value.Null) then v
+    else begin
+      (* fall back to the declared default *)
+      match Klass.local_prop (Schema_graph.find_exn t.graph cid) attr_name with
+      | Some { Prop.body = Stored { default; _ }; _ } -> default
+      | Some _ | None -> Value.Null
+    end
+
+let set_attr t o attr_name v =
+  match resolve_defining_class t o attr_name with
+  | None -> raise (Expr.Unknown_property attr_name)
+  | Some cid ->
+    let impl =
+      match impl_of t o cid with Some i -> i | None -> assert false
+    in
+    let old = Heap.get_slot t.heap impl attr_name in
+    let old_bytes = if Value.equal old Value.Null then 0 else Value.size_bytes old in
+    let new_bytes = if Value.equal v Value.Null then 0 else Value.size_bytes v in
+    t.stats.data_bytes <- t.stats.data_bytes - old_bytes + new_bytes;
+    Heap.set_slot t.heap impl attr_name v
+
+let cast t o cid =
+  if Oid.equal cid (Schema_graph.root t.graph) then Some o else impl_of t o cid
+
+let objects t = Oid.Tbl.fold (fun o _ acc -> o :: acc) t.impls []
+let object_count t = Oid.Tbl.length t.impls
+
+let rebuild ~graph ~heap ~stats =
+  let t = create ~graph ~heap ~stats in
+  let impl_prefix = "@impl:" in
+  Heap.iter heap (fun (cell : Heap.cell) ->
+      if String.equal cell.tag conceptual_tag then begin
+        let tbl = Oid.Tbl.create 4 in
+        Oid.Tbl.replace t.impls cell.oid tbl;
+        stats.oids_allocated <- stats.oids_allocated + 1;
+        stats.objects_created <- stats.objects_created + 1
+      end);
+  Heap.iter heap (fun (cell : Heap.cell) ->
+      let tag = cell.tag in
+      if
+        String.length tag > String.length impl_prefix
+        && String.sub tag 0 (String.length impl_prefix) = impl_prefix
+      then begin
+        let cid =
+          Oid.of_int
+            (int_of_string
+               (String.sub tag (String.length impl_prefix)
+                  (String.length tag - String.length impl_prefix)))
+        in
+        match Heap.get_slot heap cell.oid "__conceptual" with
+        | Value.Ref owner ->
+          (match Oid.Tbl.find_opt t.impls owner with
+          | Some tbl -> Oid.Tbl.replace tbl cid cell.oid
+          | None -> failwith "Slicing.rebuild: orphan implementation object");
+          Oid.Tbl.replace t.owners cell.oid owner;
+          stats.oids_allocated <- stats.oids_allocated + 1;
+          stats.pointers <- stats.pointers + 2;
+          (* recount payload bytes (skip bookkeeping slots) *)
+          List.iter
+            (fun (name, v) ->
+              if String.length name < 2 || String.sub name 0 2 <> "__" then
+                if not (Value.equal v Value.Null) then
+                  stats.data_bytes <- stats.data_bytes + Value.size_bytes v)
+            (Heap.slots heap cell.oid)
+        | _ -> failwith "Slicing.rebuild: implementation object without owner"
+      end);
+  t

@@ -1,0 +1,57 @@
+(** The object-slicing architecture: the TSE object model (Section 4).
+
+    A conceptual object is represented by a conceptual heap cell plus one
+    implementation heap cell per member class; each implementation object
+    carries the slots for the stored attributes {e locally defined} at its
+    class and a back-pointer to the conceptual object. This gives:
+
+    - multiple classification (an object is a member of many classes);
+    - dynamic (re)classification by creating/destroying implementation
+      objects, identity untouched;
+    - cheap casting (switch implementation object);
+    - efficient dynamic restructuring: a capacity-augmenting [refine] adds
+      one implementation object per member instead of rewriting whole
+      objects.
+
+    Storage accounting matches Table 1:
+    [(1 + n_impl)·sizeof_oid + n_impl·2·sizeof_pointer] managerial bytes
+    per object. *)
+
+include Model_sig.S
+
+val rebuild :
+  graph:Tse_schema.Schema_graph.t ->
+  heap:Tse_store.Heap.t ->
+  stats:Tse_store.Stats.t ->
+  t
+(** Reconstruct the in-memory tables (conceptual ↔ implementation maps)
+    by scanning a loaded heap: conceptual cells carry ["__impl:<cid>"]
+    reference slots, implementation cells a ["__conceptual"] back-pointer.
+    Storage statistics are recomputed. *)
+
+val impl_of : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid -> Tse_store.Oid.t option
+(** The implementation object representing the conceptual object at the
+    class, if the object is a member. *)
+
+val impl_count : t -> Tse_store.Oid.t -> int
+(** [n_impl] for the object. *)
+
+val conceptual_of : t -> Tse_store.Oid.t -> Tse_store.Oid.t option
+(** Back-pointer: conceptual object of an implementation object. *)
+
+val ensure_member : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid -> unit
+(** Idempotent [add_to_class]: used by extent maintenance when a derived
+    class's predicate starts holding for an existing object. *)
+
+val set_membership : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid list -> unit
+(** Make the object's member-class set exactly the given list (root
+    excluded): missing implementation objects are created, extra ones
+    destroyed (their slice data is discarded, as dynamic declassification
+    prescribes). No is-a closure is applied — the caller supplies a closed
+    set. *)
+
+val resolve_defining_class :
+  t -> Tse_store.Oid.t -> string -> Tse_schema.Klass.cid option
+(** The member class whose local definition of the stored attribute wins
+    resolution for this object (most specific member class; promoted
+    definitions take priority among unrelated candidates). *)

@@ -1,0 +1,1 @@
+lib/query/engine.ml: Format Indexes List String Tse_db Tse_schema Tse_store

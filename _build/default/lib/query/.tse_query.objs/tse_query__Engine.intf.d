@@ -1,0 +1,1 @@
+lib/query/engine.mli: Format Indexes Tse_db Tse_schema Tse_store

@@ -1,0 +1,1 @@
+lib/query/indexes.ml: List Printf String Tse_db Tse_schema Tse_store

@@ -1,0 +1,1 @@
+lib/query/indexes.mli: Tse_db Tse_schema Tse_store

@@ -1,0 +1,68 @@
+module Oid = Tse_store.Oid
+module Value = Tse_store.Value
+module Expr = Tse_schema.Expr
+module Database = Tse_db.Database
+
+type cid = Tse_schema.Klass.cid
+
+type plan = Index_lookup of { attr : string; residual : bool } | Extent_scan
+
+(* Split a predicate into [attr = const] conjuncts and the rest. *)
+let rec equality_conjuncts = function
+  | Expr.Cmp (Expr.Eq, Expr.Attr a, Expr.Const v)
+  | Expr.Cmp (Expr.Eq, Expr.Const v, Expr.Attr a) ->
+    ([ (a, v) ], [])
+  | Expr.And (l, r) ->
+    let el, rl = equality_conjuncts l in
+    let er, rr = equality_conjuncts r in
+    (el @ er, rl @ rr)
+  | e -> ([], [ e ])
+
+let rec conjoin = function
+  | [] -> Expr.bool true
+  | [ e ] -> e
+  | e :: rest -> Expr.And (e, conjoin rest)
+
+let choose db indexes cid pred =
+  ignore db;
+  let eqs, residual = equality_conjuncts pred in
+  let usable = List.filter (fun (a, _) -> Indexes.indexed indexes cid a) eqs in
+  match usable with
+  | [] -> (Extent_scan, None)
+  | (attr, v) :: _ ->
+    (* remaining equality conjuncts join the residual predicate *)
+    let rest =
+      List.filter_map
+        (fun (a, w) ->
+          if String.equal a attr && Value.equal v w then None
+          else Some Expr.(Cmp (Eq, Attr a, Const w)))
+        eqs
+      @ residual
+    in
+    ( Index_lookup { attr; residual = rest <> [] },
+      Some (attr, v, conjoin rest, rest <> []) )
+
+let plan db indexes cid pred = fst (choose db indexes cid pred)
+
+let select db indexes cid pred =
+  match choose db indexes cid pred with
+  | Extent_scan, _ ->
+    Oid.Set.filter (fun o -> Database.holds db o pred) (Database.extent db cid)
+  | Index_lookup _, Some (attr, v, residual, has_residual) -> begin
+    match Indexes.lookup indexes cid attr v with
+    | None -> (* index dropped concurrently: scan *)
+      Oid.Set.filter (fun o -> Database.holds db o pred) (Database.extent db cid)
+    | Some candidates ->
+      if has_residual then
+        Oid.Set.filter (fun o -> Database.holds db o residual) candidates
+      else candidates
+  end
+  | Index_lookup _, None -> assert false
+
+let count db indexes cid pred = Oid.Set.cardinal (select db indexes cid pred)
+
+let pp_plan ppf = function
+  | Index_lookup { attr; residual } ->
+    Format.fprintf ppf "index lookup on %s%s" attr
+      (if residual then " + residual filter" else "")
+  | Extent_scan -> Format.pp_print_string ppf "extent scan"

@@ -1,0 +1,29 @@
+(** A small query processor for extent selections.
+
+    Evaluates [select from <class> where <predicate>] queries against a
+    database: equality conjuncts on indexed attributes are answered by
+    index lookup, the residual predicate is checked per candidate, and
+    everything else falls back to an extent scan. {!explain} exposes the
+    chosen plan for tests and tuning. *)
+
+type cid = Tse_schema.Klass.cid
+
+type plan =
+  | Index_lookup of { attr : string; residual : bool }
+      (** answered from the index on [attr]; [residual] when a remaining
+          predicate is checked per candidate *)
+  | Extent_scan
+
+val plan : Tse_db.Database.t -> Indexes.t -> cid -> Tse_schema.Expr.t -> plan
+
+val select :
+  Tse_db.Database.t ->
+  Indexes.t ->
+  cid ->
+  Tse_schema.Expr.t ->
+  Tse_store.Oid.Set.t
+(** Members of the class satisfying the predicate. *)
+
+val count : Tse_db.Database.t -> Indexes.t -> cid -> Tse_schema.Expr.t -> int
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,92 @@
+module Oid = Tse_store.Oid
+module Value = Tse_store.Value
+module Index = Tse_store.Index
+module Prop = Tse_schema.Prop
+module Type_info = Tse_schema.Type_info
+module Database = Tse_db.Database
+
+type cid = Tse_schema.Klass.cid
+
+type entry = {
+  e_cid : cid;
+  e_attr : string;
+  index : Index.t;
+  (* last indexed value per object, so updates can unindex the old one *)
+  current : Value.t Oid.Tbl.t;
+}
+
+type t = { db : Database.t; mutable entries : entry list }
+
+let key_matches e cid attr = Oid.equal e.e_cid cid && String.equal e.e_attr attr
+
+(* (Re)index one object in one entry according to its current state. *)
+let refresh_object e db o =
+  let was = Oid.Tbl.find_opt e.current o in
+  let now =
+    if
+      Database.mem_object db o
+      && Oid.Set.mem o (Database.extent db e.e_cid)
+    then
+      match Database.get_prop db o e.e_attr with
+      | v -> Some v
+      | exception _ -> None
+    else None
+  in
+  (match was with
+  | Some v -> (
+    match now with
+    | Some v' when Value.equal v v' -> ()
+    | _ ->
+      Index.remove e.index v o;
+      Oid.Tbl.remove e.current o)
+  | None -> ());
+  match now with
+  | Some v when Oid.Tbl.find_opt e.current o = None ->
+    Index.add e.index v o;
+    Oid.Tbl.replace e.current o v
+  | Some _ | None -> ()
+
+let on_event t event =
+  let handle o = List.iter (fun e -> refresh_object e t.db o) t.entries in
+  match event with
+  | Database.Object_created o
+  | Database.Object_destroyed o
+  | Database.Attr_set (o, _, _)
+  | Database.Reclassified o ->
+    handle o
+
+let create db =
+  let t = { db; entries = [] } in
+  Database.add_listener db (fun ev -> on_event t ev);
+  t
+
+let ensure t cid attr =
+  let graph = Database.graph t.db in
+  (match Type_info.find_usable graph cid attr with
+  | Some p when Prop.is_stored p -> ()
+  | Some _ ->
+    invalid_arg (Printf.sprintf "Indexes.ensure: %s is a method" attr)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Indexes.ensure: %s undefined for the class" attr));
+  t.entries <- List.filter (fun e -> not (key_matches e cid attr)) t.entries;
+  let e =
+    { e_cid = cid; e_attr = attr; index = Index.create (); current = Oid.Tbl.create 64 }
+  in
+  Oid.Set.iter (fun o -> refresh_object e t.db o) (Database.extent t.db cid);
+  t.entries <- e :: t.entries
+
+let drop t cid attr =
+  t.entries <- List.filter (fun e -> not (key_matches e cid attr)) t.entries
+
+let lookup t cid attr v =
+  List.find_map
+    (fun e -> if key_matches e cid attr then Some (Index.lookup e.index v) else None)
+    t.entries
+
+let indexed t cid attr = List.exists (fun e -> key_matches e cid attr) t.entries
+
+let overhead_bytes t =
+  List.fold_left (fun acc e -> acc + Index.overhead_bytes e.index) 0 t.entries
+
+let index_count t = List.length t.entries

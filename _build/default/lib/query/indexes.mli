@@ -1,0 +1,30 @@
+(** Maintained attribute indexes.
+
+    GemStone-style associative access for the select operator: an index
+    on [(class, attribute)] maps attribute values to the members of the
+    class holding them, and is kept current by listening to the database's
+    change events (attribute writes, object creation/destruction and
+    reclassification). Section 4.2 counts such structures among the
+    managerial storage; {!overhead_bytes} reports it. *)
+
+type cid = Tse_schema.Klass.cid
+type t
+
+val create : Tse_db.Database.t -> t
+(** Registers the maintenance listener on the database. *)
+
+val ensure : t -> cid -> string -> unit
+(** Build (or rebuild) the index on the class's attribute from the
+    current extent, and maintain it from now on.
+    @raise Invalid_argument if the attribute is not a usable stored
+    attribute of the class. *)
+
+val drop : t -> cid -> string -> unit
+
+val lookup : t -> cid -> string -> Tse_store.Value.t -> Tse_store.Oid.Set.t option
+(** [Some members] when an index exists on [(class, attr)] — already
+    restricted to the class's extent; [None] when no index exists. *)
+
+val indexed : t -> cid -> string -> bool
+val overhead_bytes : t -> int
+val index_count : t -> int

@@ -1,0 +1,1 @@
+lib/schema/expr.ml: Buffer Float Format Int List Printf Stdlib String Tse_store

@@ -1,0 +1,1 @@
+lib/schema/expr.mli: Buffer Format Tse_store

@@ -1,0 +1,1 @@
+lib/schema/invariants.ml: Format Hashtbl Klass List Prop Schema_graph String Tse_store

@@ -1,0 +1,1 @@
+lib/schema/invariants.mli: Schema_graph

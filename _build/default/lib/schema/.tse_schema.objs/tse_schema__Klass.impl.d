@@ -1,0 +1,1 @@
+lib/schema/klass.ml: Expr Format List Option Printf Prop String Tse_store

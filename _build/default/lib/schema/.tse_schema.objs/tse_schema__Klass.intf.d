@@ -1,0 +1,1 @@
+lib/schema/klass.mli: Expr Format Prop Tse_store

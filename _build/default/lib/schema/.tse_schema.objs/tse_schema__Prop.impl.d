@@ -1,0 +1,1 @@
+lib/schema/prop.ml: Bool Expr Format Int String Tse_store

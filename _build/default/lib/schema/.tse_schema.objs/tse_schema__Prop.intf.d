@@ -1,0 +1,1 @@
+lib/schema/prop.mli: Expr Format Tse_store

@@ -1,0 +1,1 @@
+lib/schema/schema_graph.ml: Format Klass List Printf Prop Queue String Tse_store

@@ -1,0 +1,1 @@
+lib/schema/schema_graph.mli: Format Klass Prop Tse_store

@@ -1,0 +1,1 @@
+lib/schema/type_info.ml: Expr Format Klass List Map Option Printf Prop Schema_graph String Tse_store

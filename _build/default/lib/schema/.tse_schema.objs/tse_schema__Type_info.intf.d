@@ -1,0 +1,1 @@
+lib/schema/type_info.mli: Format Klass Prop Schema_graph Tse_store

@@ -1,0 +1,83 @@
+(** The expression language for select predicates and derived methods.
+
+    MultiView's object algebra attaches a predicate to every [select]
+    virtual class and a code block to every derived method (paper,
+    Sections 3.2-3.3). Expressions are evaluated against one object
+    ("self") through an abstract environment, so this module depends on
+    neither the object model nor the database kernel. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Const of Tse_store.Value.t
+  | Attr of string  (** value of the named property on self *)
+  | Self  (** self's OID as a [Ref] value *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | Concat of t * t
+  | Is_null of t
+  | In_class of string  (** is self a member of the named class? *)
+  | If of t * t * t
+
+(** Evaluation environment: how to read self's properties and test class
+    membership. *)
+type env = {
+  self : Tse_store.Oid.t;
+  get : string -> Tse_store.Value.t;
+      (** property read; must raise {!Unknown_property} for undefined names *)
+  member_of : string -> bool;
+}
+
+exception Unknown_property of string
+exception Type_error of string
+
+val eval : env -> t -> Tse_store.Value.t
+(** @raise Unknown_property if the expression reads an undefined property.
+    @raise Type_error on ill-typed operations (e.g. [1 + "a"]). *)
+
+val eval_bool : env -> t -> bool
+(** Evaluate as a predicate. [Null] is treated as [false].
+    @raise Type_error if the result is a non-boolean, non-null value. *)
+
+val equal : t -> t -> bool
+(** Structural equality; the classifier uses it for duplicate-class
+    detection (two [select] classes with equal sources and equal predicates
+    denote the same class). *)
+
+val free_attrs : t -> string list
+(** Property names the expression reads, without duplicates, sorted. The
+    type-closure check uses this. *)
+
+val referenced_classes : t -> string list
+(** Class names mentioned in [In_class] tests, sorted. *)
+
+val rename_attr : old_name:string -> new_name:string -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val encode : Buffer.t -> t -> unit
+(** Stable text encoding for the database catalog (see
+    {!Tse_db.Catalog}). *)
+
+val decode : string -> int -> t * int
+(** Inverse of {!encode}. @raise Failure on malformed input. *)
+
+(** {2 Convenience constructors} *)
+
+val int : int -> t
+val str : string -> t
+val bool : bool -> t
+val attr : string -> t
+val ( === ) : t -> t -> t
+val ( <> ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t

@@ -1,0 +1,257 @@
+module Oid = Tse_store.Oid
+
+type cid = Klass.cid
+
+type t = {
+  classes : Klass.t Oid.Tbl.t;
+  gen : Oid.Gen.t;
+  root : cid;
+  (* reachability caches, flushed on any edge or class mutation *)
+  anc_cache : Oid.Set.t Oid.Tbl.t;
+  desc_cache : Oid.Set.t Oid.Tbl.t;
+}
+
+let gen t = t.gen
+let root t = t.root
+let find t cid = Oid.Tbl.find_opt t.classes cid
+
+let find_exn t cid =
+  match find t cid with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Schema_graph: unknown class %s" (Oid.to_string cid))
+
+let name_of t cid = (find_exn t cid).name
+let mem t cid = Oid.Tbl.mem t.classes cid
+
+let find_by_name t name =
+  Oid.Tbl.fold
+    (fun _ (k : Klass.t) acc ->
+      if acc = None && String.equal k.name name then Some k else acc)
+    t.classes None
+
+let find_by_name_exn t name =
+  match find_by_name t name with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Schema_graph: no class named %s" name)
+
+let classes t = Oid.Tbl.fold (fun _ k acc -> k :: acc) t.classes []
+let cids t = Oid.Tbl.fold (fun cid _ acc -> cid :: acc) t.classes []
+let size t = Oid.Tbl.length t.classes
+let supers t cid = (find_exn t cid).supers
+let subs t cid = (find_exn t cid).subs
+
+let closure next start =
+  let seen = ref Oid.Set.empty in
+  let rec visit cid =
+    List.iter
+      (fun c ->
+        if not (Oid.Set.mem c !seen) then begin
+          seen := Oid.Set.add c !seen;
+          visit c
+        end)
+      (next cid)
+  in
+  visit start;
+  !seen
+
+let flush_caches t =
+  Oid.Tbl.reset t.anc_cache;
+  Oid.Tbl.reset t.desc_cache
+
+let cached cache compute cid =
+  match Oid.Tbl.find_opt cache cid with
+  | Some s -> s
+  | None ->
+    let s = compute cid in
+    Oid.Tbl.replace cache cid s;
+    s
+
+let ancestors t cid = cached t.anc_cache (closure (supers t)) cid
+let descendants t cid = cached t.desc_cache (closure (subs t)) cid
+
+let is_strict_ancestor t ~anc ~desc = Oid.Set.mem anc (ancestors t desc)
+
+let is_ancestor_or_self t ~anc ~desc =
+  Oid.equal anc desc || is_strict_ancestor t ~anc ~desc
+
+let create ~gen =
+  let root = Oid.Gen.fresh gen in
+  let t =
+    { classes = Oid.Tbl.create 64; gen; root; anc_cache = Oid.Tbl.create 64;
+      desc_cache = Oid.Tbl.create 64 }
+  in
+  Oid.Tbl.replace t.classes root
+    (Klass.make_base ~cid:root ~name:"Object" ~props:[]);
+  t
+
+let check_fresh_name t name =
+  match find_by_name t name with
+  | Some k ->
+    invalid_arg
+      (Printf.sprintf "Schema_graph: class name %s already used by %s" name
+         (Oid.to_string k.cid))
+  | None -> ()
+
+let link t ~sup ~sub =
+  let ksup = find_exn t sup and ksub = find_exn t sub in
+  if not (List.exists (Oid.equal sub) ksup.subs) then begin
+    ksup.subs <- ksup.subs @ [ sub ];
+    ksub.supers <- ksub.supers @ [ sup ];
+    flush_caches t
+  end
+
+let unlink t ~sup ~sub =
+  let ksup = find_exn t sup and ksub = find_exn t sub in
+  ksup.subs <- List.filter (fun c -> not (Oid.equal c sub)) ksup.subs;
+  ksub.supers <- List.filter (fun c -> not (Oid.equal c sup)) ksub.supers;
+  flush_caches t
+
+let add_edge t ~sup ~sub =
+  if Oid.equal sup sub then invalid_arg "Schema_graph.add_edge: self edge";
+  if is_strict_ancestor t ~anc:sub ~desc:sup then
+    invalid_arg
+      (Printf.sprintf "Schema_graph.add_edge: %s-%s would create a cycle"
+         (name_of t sup) (name_of t sub));
+  let ksub = find_exn t sub in
+  (* A real superclass supersedes the default root attachment. *)
+  if
+    (not (Oid.equal sup t.root))
+    && List.exists (Oid.equal t.root) ksub.supers
+  then unlink t ~sup:t.root ~sub;
+  link t ~sup ~sub
+
+let remove_edge t ~sup ~sub =
+  unlink t ~sup ~sub;
+  let ksub = find_exn t sub in
+  if ksub.supers = [] && not (Oid.equal sub t.root) then
+    link t ~sup:t.root ~sub
+
+let register_base t ~name ~props ~supers =
+  check_fresh_name t name;
+  let cid = Oid.Gen.fresh t.gen in
+  let props = List.map (fun p -> Prop.reoriginate p cid) props in
+  let k = Klass.make_base ~cid ~name ~props in
+  Oid.Tbl.replace t.classes cid k;
+  (match supers with
+  | [] -> link t ~sup:t.root ~sub:cid
+  | supers -> List.iter (fun sup -> add_edge t ~sup ~sub:cid) supers);
+  cid
+
+let register_virtual t ~name derivation props =
+  check_fresh_name t name;
+  let cid = Oid.Gen.fresh t.gen in
+  let props = List.map (fun p -> Prop.reoriginate p cid) props in
+  let k = Klass.make_virtual ~cid ~name derivation props in
+  Oid.Tbl.replace t.classes cid k;
+  cid
+
+let remove t cid =
+  if Oid.equal cid t.root then invalid_arg "Schema_graph.remove: root";
+  let k = find_exn t cid in
+  List.iter (fun sup -> unlink t ~sup ~sub:cid) k.supers;
+  List.iter (fun sub -> remove_edge t ~sup:cid ~sub) k.subs;
+  Oid.Tbl.remove t.classes cid
+
+let subclasses_within t cid ~in_set =
+  let seen = ref Oid.Set.empty in
+  let order = ref [] in
+  let rec visit c =
+    if not (Oid.Set.mem c !seen) then begin
+      seen := Oid.Set.add c !seen;
+      if Oid.Set.mem c in_set then order := c :: !order;
+      List.iter visit (subs t c)
+    end
+  in
+  visit cid;
+  List.rev !order
+
+let topo_order t =
+  let indegree = Oid.Tbl.create 64 in
+  Oid.Tbl.iter
+    (fun cid (k : Klass.t) -> Oid.Tbl.replace indegree cid (List.length k.supers))
+    t.classes;
+  let queue = Queue.create () in
+  Oid.Tbl.iter (fun cid d -> if d = 0 then Queue.add cid queue) indegree;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    order := cid :: !order;
+    List.iter
+      (fun sub ->
+        let d = Oid.Tbl.find indegree sub - 1 in
+        Oid.Tbl.replace indegree sub d;
+        if d = 0 then Queue.add sub queue)
+      (subs t cid)
+  done;
+  let order = List.rev !order in
+  assert (List.length order = size t);
+  order
+
+let paths_down t ~src ~dst =
+  let rec walk c path =
+    let path = c :: path in
+    if Oid.equal c dst then [ List.rev path ]
+    else List.concat_map (fun sub -> walk sub path) (subs t c)
+  in
+  walk src []
+
+let is_redundant_edge t ~sup ~sub =
+  List.exists
+    (fun mid ->
+      (not (Oid.equal mid sub)) && is_strict_ancestor t ~anc:mid ~desc:sub)
+    (subs t sup)
+
+let copy t =
+  let t' =
+    { classes = Oid.Tbl.create (size t); gen = t.gen; root = t.root;
+      anc_cache = Oid.Tbl.create 64; desc_cache = Oid.Tbl.create 64 }
+  in
+  Oid.Tbl.iter
+    (fun cid (k : Klass.t) ->
+      Oid.Tbl.replace t'.classes cid
+        {
+          Klass.cid = k.cid;
+          name = k.name;
+          kind = k.kind;
+          local_props = k.local_props;
+          supers = k.supers;
+          subs = k.subs;
+        })
+    t.classes;
+  t'
+
+let restore_empty ~gen ~root =
+  Oid.Gen.mark_used gen root;
+  { classes = Oid.Tbl.create 64; gen; root; anc_cache = Oid.Tbl.create 64;
+    desc_cache = Oid.Tbl.create 64 }
+
+let install t (k : Klass.t) =
+  Oid.Gen.mark_used t.gen k.cid;
+  Oid.Tbl.replace t.classes k.cid k;
+  flush_caches t
+
+let relink_subs t =
+  Oid.Tbl.iter (fun _ (k : Klass.t) -> k.subs <- []) t.classes;
+  let order = Oid.Tbl.fold (fun cid _ acc -> cid :: acc) t.classes [] in
+  List.iter
+    (fun sub ->
+      List.iter
+        (fun sup ->
+          let ksup = find_exn t sup in
+          if not (List.exists (Oid.equal sub) ksup.subs) then
+            ksup.subs <- ksup.subs @ [ sub ])
+        (find_exn t sub).supers)
+    (List.sort Oid.compare order);
+  flush_caches t
+
+let pp ppf t =
+  let order = topo_order t in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun cid ->
+      let k = find_exn t cid in
+      Format.fprintf ppf "%s%s <- {%s}@ " k.name
+        (if Klass.is_virtual k then "*" else "")
+        (String.concat ", " (List.map (name_of t) k.supers)))
+    order;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/store/heap.ml: Hashtbl List Oid String Value

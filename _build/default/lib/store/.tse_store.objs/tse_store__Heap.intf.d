@@ -1,0 +1,1 @@
+lib/store/heap.mli: Hashtbl Oid Value

@@ -1,0 +1,1 @@
+lib/store/index.ml: Hashtbl Oid Seq Stats Value

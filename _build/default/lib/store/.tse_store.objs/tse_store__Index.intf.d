@@ -1,0 +1,1 @@
+lib/store/index.mli: Oid Seq Value

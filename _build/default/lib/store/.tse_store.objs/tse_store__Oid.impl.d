@@ -1,0 +1,1 @@
+lib/store/oid.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/store/oid.mli: Format Hashtbl Map Set

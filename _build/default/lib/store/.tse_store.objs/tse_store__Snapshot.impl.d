@@ -1,0 +1,1 @@
+lib/store/snapshot.ml: Buffer Hashtbl Heap List Oid Printf Stdlib String Sys Value

@@ -1,0 +1,1 @@
+lib/store/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/store/txn.mli: Heap

@@ -1,0 +1,1 @@
+lib/store/value.ml: Bool Buffer Float Format Int List Oid Printf String

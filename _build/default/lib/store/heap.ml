@@ -1,0 +1,144 @@
+type cell = {
+  oid : Oid.t;
+  mutable tag : string;
+  slots : (string, Value.t) Hashtbl.t;
+}
+
+type undo = unit -> unit
+
+type t = {
+  cells : cell Oid.Tbl.t;
+  gen : Oid.Gen.t;
+  mutable journals : undo list ref list;
+}
+
+let create () = { cells = Oid.Tbl.create 256; gen = Oid.Gen.create (); journals = [] }
+let gen t = t.gen
+
+let record t undo =
+  match t.journals with
+  | [] -> ()
+  | j :: _ -> j := undo :: !j
+
+let alloc t ~tag =
+  let oid = Oid.Gen.fresh t.gen in
+  Oid.Tbl.replace t.cells oid { oid; tag; slots = Hashtbl.create 4 };
+  record t (fun () -> Oid.Tbl.remove t.cells oid);
+  oid
+
+let alloc_with t ~tag bindings =
+  let oid = alloc t ~tag in
+  let cell = Oid.Tbl.find t.cells oid in
+  List.iter (fun (k, v) -> Hashtbl.replace cell.slots k v) bindings;
+  oid
+
+let alloc_raw t ~oid ~tag =
+  if Oid.Tbl.mem t.cells oid then invalid_arg "Heap.alloc_raw: oid in use";
+  Oid.Gen.mark_used t.gen oid;
+  Oid.Tbl.replace t.cells oid { oid; tag; slots = Hashtbl.create 4 };
+  record t (fun () -> Oid.Tbl.remove t.cells oid);
+  oid
+
+let free t oid =
+  match Oid.Tbl.find_opt t.cells oid with
+  | None -> ()
+  | Some cell ->
+    Oid.Tbl.remove t.cells oid;
+    record t (fun () -> Oid.Tbl.replace t.cells oid cell)
+
+let mem t oid = Oid.Tbl.mem t.cells oid
+let find t oid = Oid.Tbl.find_opt t.cells oid
+
+let find_exn t oid =
+  match Oid.Tbl.find_opt t.cells oid with
+  | Some c -> c
+  | None -> raise Not_found
+
+let tag_of t oid = (find_exn t oid).tag
+
+let set_tag t oid tag =
+  let cell = find_exn t oid in
+  let old = cell.tag in
+  cell.tag <- tag;
+  record t (fun () -> cell.tag <- old)
+
+let get_slot t oid name =
+  match Hashtbl.find_opt (find_exn t oid).slots name with
+  | Some v -> v
+  | None -> Value.Null
+
+let set_slot t oid name v =
+  let cell = find_exn t oid in
+  let old = Hashtbl.find_opt cell.slots name in
+  Hashtbl.replace cell.slots name v;
+  record t (fun () ->
+      match old with
+      | None -> Hashtbl.remove cell.slots name
+      | Some v -> Hashtbl.replace cell.slots name v)
+
+let remove_slot t oid name =
+  let cell = find_exn t oid in
+  match Hashtbl.find_opt cell.slots name with
+  | None -> ()
+  | Some old ->
+    Hashtbl.remove cell.slots name;
+    record t (fun () -> Hashtbl.replace cell.slots name old)
+
+let slot_names t oid =
+  Hashtbl.fold (fun k _ acc -> k :: acc) (find_exn t oid).slots []
+  |> List.sort String.compare
+
+let slots t oid =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (find_exn t oid).slots []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let copy_slots t ~src ~dst =
+  let from = find_exn t src in
+  Hashtbl.iter (fun k v -> set_slot t dst k v) from.slots
+
+let swap_identity t a b =
+  let ca = find_exn t a and cb = find_exn t b in
+  let tag_a = ca.tag and tag_b = cb.tag in
+  let slots_a = Hashtbl.copy ca.slots and slots_b = Hashtbl.copy cb.slots in
+  let assign (c : cell) tag slots =
+    c.tag <- tag;
+    Hashtbl.reset c.slots;
+    Hashtbl.iter (fun k v -> Hashtbl.replace c.slots k v) slots
+  in
+  assign ca tag_b slots_b;
+  assign cb tag_a slots_a;
+  record t (fun () ->
+      assign ca tag_a slots_a;
+      assign cb tag_b slots_b)
+
+let iter t f = Oid.Tbl.iter (fun _ c -> f c) t.cells
+let fold t ~init ~f = Oid.Tbl.fold (fun _ c acc -> f acc c) t.cells init
+let cell_count t = Oid.Tbl.length t.cells
+
+let data_bytes t =
+  fold t ~init:0 ~f:(fun acc c ->
+      Hashtbl.fold (fun _ v acc -> acc + Value.size_bytes v) c.slots acc)
+
+let push_journal t = t.journals <- ref [] :: t.journals
+
+let pop_journal_commit t =
+  match t.journals with
+  | [] -> invalid_arg "Heap.pop_journal_commit: no open journal"
+  | j :: rest ->
+    t.journals <- rest;
+    (* A committed nested journal folds its undo entries into the parent so
+       an outer abort still reverses them. *)
+    (match rest with
+    | [] -> ()
+    | parent :: _ -> parent := !j @ !parent)
+
+let pop_journal_abort t =
+  match t.journals with
+  | [] -> invalid_arg "Heap.pop_journal_abort: no open journal"
+  | j :: rest ->
+    (* Entries must not re-journal while undoing. *)
+    t.journals <- [];
+    List.iter (fun undo -> undo ()) !j;
+    t.journals <- rest
+
+let journal_depth t = List.length t.journals

@@ -1,0 +1,81 @@
+(** The object table: the persistent-store substrate standing in for
+    GemStone (paper, Section 5).
+
+    A heap cell is a tagged record of named slots. Both object models store
+    their physical objects here: the intersection-class model stores one
+    cell per conceptual object; the object-slicing model stores one cell per
+    conceptual object plus one per implementation object.
+
+    Mutations are journaled when a transaction is open (see {!Txn}). *)
+
+type t
+
+type cell = {
+  oid : Oid.t;
+  mutable tag : string;
+      (** the owning class name (or an object-model-specific tag) *)
+  slots : (string, Value.t) Hashtbl.t;
+}
+
+val create : unit -> t
+
+val gen : t -> Oid.Gen.t
+(** The heap's OID generator (also used for fresh class ids by upper
+    layers, so that every identifier in a database is unique). *)
+
+val alloc : t -> tag:string -> Oid.t
+(** Allocate a fresh empty cell. *)
+
+val alloc_with : t -> tag:string -> (string * Value.t) list -> Oid.t
+
+val alloc_raw : t -> oid:Oid.t -> tag:string -> Oid.t
+(** Install a cell under a caller-chosen OID (snapshot loading). The
+    generator is advanced past [oid].
+    @raise Invalid_argument if the OID is already allocated. *)
+
+val free : t -> Oid.t -> unit
+(** Remove the cell. Freeing an unknown OID is a no-op. *)
+
+val mem : t -> Oid.t -> bool
+val find : t -> Oid.t -> cell option
+
+val find_exn : t -> Oid.t -> cell
+(** @raise Not_found if the OID is not allocated. *)
+
+val tag_of : t -> Oid.t -> string
+val set_tag : t -> Oid.t -> string -> unit
+
+val get_slot : t -> Oid.t -> string -> Value.t
+(** Missing slots read as [Value.Null]. *)
+
+val set_slot : t -> Oid.t -> string -> Value.t -> unit
+val remove_slot : t -> Oid.t -> string -> unit
+val slot_names : t -> Oid.t -> string list
+val slots : t -> Oid.t -> (string * Value.t) list
+
+val copy_slots : t -> src:Oid.t -> dst:Oid.t -> unit
+(** Copy every slot of [src] onto [dst] (intersection-class
+    reclassification support). *)
+
+val swap_identity : t -> Oid.t -> Oid.t -> unit
+(** Exchange the contents (tag and slots) of two cells, leaving each OID in
+    place: the "swap mechanism" that preserves object identity during
+    intersection-class dynamic reclassification (Section 4.2). *)
+
+val iter : t -> (cell -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> cell -> 'a) -> 'a
+val cell_count : t -> int
+
+val data_bytes : t -> int
+(** Total payload bytes of all slot values currently stored. *)
+
+(** {2 Journaling — used by {!Txn}} *)
+
+val push_journal : t -> unit
+val pop_journal_commit : t -> unit
+
+val pop_journal_abort : t -> unit
+(** Undo, in reverse order, every mutation recorded since the matching
+    {!push_journal}. *)
+
+val journal_depth : t -> int

@@ -1,0 +1,38 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let to_int t = t
+let of_int i = i
+let pp ppf t = Format.fprintf ppf "#%d" t
+let to_string t = "#" ^ string_of_int t
+
+module Gen = struct
+  type t = { mutable next : int; mutable count : int }
+
+  let create () = { next = 1; count = 0 }
+
+  let fresh g =
+    let o = g.next in
+    g.next <- g.next + 1;
+    g.count <- g.count + 1;
+    o
+
+  let count g = g.count
+
+  let mark_used g oid =
+    if oid >= g.next then begin
+      g.next <- oid + 1;
+      g.count <- g.count + 1
+    end
+end
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,45 @@
+(** Object identifiers.
+
+    Every conceptual object, implementation object and class record in the
+    store is addressed by an OID. OIDs are never reused within a generator,
+    which is what lets the object-slicing model keep stable conceptual
+    identity across dynamic reclassification (paper, Section 4). *)
+
+type t
+(** An opaque object identifier. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_int : t -> int
+(** Stable integer image of the OID, used by the snapshot format. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}; used only when loading snapshots. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** A source of fresh OIDs. Each database owns one generator so that
+    identifiers are unique per database, not globally. *)
+module Gen : sig
+  type oid := t
+  type t
+
+  val create : unit -> t
+
+  val fresh : t -> oid
+  (** [fresh g] returns an OID never previously returned by [g]. *)
+
+  val count : t -> int
+  (** Number of OIDs handed out so far; Table 1's [#oids] accounting. *)
+
+  val mark_used : t -> oid -> unit
+  (** Inform the generator that [oid] is in use (snapshot loading), so that
+      subsequent {!fresh} calls do not collide with it. *)
+end
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,131 @@
+let escape s =
+  (* Tags and slot names are identifiers in practice, but stay safe. *)
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | ' ' -> "\\s"
+         | '\n' -> "\\n"
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let rec loop i =
+    if i >= String.length s then Buffer.contents buf
+    else if s.[i] = '\\' && i + 1 < String.length s then begin
+      (match s.[i + 1] with
+      | 's' -> Buffer.add_char buf ' '
+      | 'n' -> Buffer.add_char buf '\n'
+      | '\\' -> Buffer.add_char buf '\\'
+      | c ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c);
+      loop (i + 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let to_string heap =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "TSE-HEAP 1\n";
+  let max_oid =
+    Heap.fold heap ~init:0 ~f:(fun acc c -> max acc (Oid.to_int c.Heap.oid))
+  in
+  Buffer.add_string buf (Printf.sprintf "gen %d\n" (max_oid + 1));
+  let cells =
+    Heap.fold heap ~init:[] ~f:(fun acc c -> c :: acc)
+    |> List.sort (fun (a : Heap.cell) b -> Oid.compare a.oid b.oid)
+  in
+  List.iter
+    (fun (c : Heap.cell) ->
+      let slots =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.slots []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "obj %d %s %d\n" (Oid.to_int c.oid) (escape c.tag)
+           (List.length slots));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf "slot %s " (escape k));
+          Value.encode buf v;
+          Buffer.add_char buf '\n')
+        slots)
+    cells;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let fail line what = failwith (Printf.sprintf "Snapshot: %s in %S" what line)
+
+let of_string s =
+  let heap = Heap.create () in
+  let lines = String.split_on_char '\n' s in
+  let current = ref None in
+  let expect_slots = ref 0 in
+  let seen_end = ref false in
+  let handle line =
+    if !seen_end || String.length line = 0 then ()
+    else
+      match String.split_on_char ' ' line with
+      | [ "TSE-HEAP"; "1" ] -> ()
+      | [ "gen"; _n ] -> ()
+      | [ "obj"; oid_s; tag; nslots ] ->
+        if !expect_slots > 0 then fail line "previous object truncated";
+        let oid = Oid.of_int (int_of_string oid_s) in
+        let oid = Heap.alloc_raw heap ~oid ~tag:(unescape tag) in
+        current := Some oid;
+        expect_slots := int_of_string nslots
+      | "slot" :: name :: rest ->
+        let oid =
+          match !current with
+          | Some o -> o
+          | None -> fail line "slot before obj"
+        in
+        if !expect_slots <= 0 then fail line "unexpected slot";
+        let payload = String.concat " " rest in
+        let v, _ = Value.decode payload 0 in
+        Heap.set_slot heap oid (unescape name) v;
+        expect_slots := !expect_slots - 1
+      | [ "end" ] ->
+        if !expect_slots > 0 then fail line "truncated object";
+        seen_end := true
+      | _ -> fail line "unrecognized line"
+  in
+  List.iter handle lines;
+  if not !seen_end then failwith "Snapshot: missing end marker";
+  heap
+
+let save heap path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc (to_string heap)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+let roundtrip_equal a b =
+  let cells heap =
+    Heap.fold heap ~init:[] ~f:(fun acc (c : Heap.cell) ->
+        ( Oid.to_int c.oid,
+          c.tag,
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.slots []
+          |> List.sort Stdlib.compare )
+        :: acc)
+    |> List.sort Stdlib.compare
+  in
+  cells a = cells b

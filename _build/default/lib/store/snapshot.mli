@@ -1,0 +1,29 @@
+(** Text snapshots of a heap.
+
+    A stable, diffable line format (no [Marshal]) so that persisted
+    databases survive compiler upgrades and can be inspected by hand:
+
+    {v
+    TSE-HEAP 1
+    gen <next-oid>
+    obj <oid> <tag> <nslots>
+    slot <name> <value-encoding>
+    ...
+    end
+    v} *)
+
+val to_string : Heap.t -> string
+
+val of_string : string -> Heap.t
+(** @raise Failure on malformed input. *)
+
+val save : Heap.t -> string -> unit
+(** [save heap path] writes atomically (temp file + rename). *)
+
+val load : string -> Heap.t
+(** @raise Sys_error if the file cannot be read.
+    @raise Failure on malformed content. *)
+
+val roundtrip_equal : Heap.t -> Heap.t -> bool
+(** Structural equality of two heaps (same cells, tags and slots); used by
+    the persistence tests. *)

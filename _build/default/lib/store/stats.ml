@@ -1,0 +1,47 @@
+let sizeof_oid = 8
+let sizeof_pointer = 8
+
+type t = {
+  mutable oids_allocated : int;
+  mutable pointers : int;
+  mutable data_bytes : int;
+  mutable classes_created : int;
+  mutable objects_created : int;
+  mutable copies : int;
+  mutable identity_swaps : int;
+}
+
+let create () =
+  {
+    oids_allocated = 0;
+    pointers = 0;
+    data_bytes = 0;
+    classes_created = 0;
+    objects_created = 0;
+    copies = 0;
+    identity_swaps = 0;
+  }
+
+let reset t =
+  t.oids_allocated <- 0;
+  t.pointers <- 0;
+  t.data_bytes <- 0;
+  t.classes_created <- 0;
+  t.objects_created <- 0;
+  t.copies <- 0;
+  t.identity_swaps <- 0
+
+let managerial_bytes t =
+  (t.oids_allocated * sizeof_oid) + (t.pointers * sizeof_pointer)
+
+let oids_per_object t =
+  if t.objects_created = 0 then 0.
+  else float_of_int t.oids_allocated /. float_of_int t.objects_created
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>oids=%d pointers=%d data_bytes=%d managerial_bytes=%d@ \
+     classes_created=%d objects=%d copies=%d swaps=%d oids/object=%.2f@]"
+    t.oids_allocated t.pointers t.data_bytes (managerial_bytes t)
+    t.classes_created t.objects_created t.copies t.identity_swaps
+    (oids_per_object t)

@@ -1,0 +1,17 @@
+exception Abort
+
+let with_txn heap f =
+  Heap.push_journal heap;
+  match f () with
+  | v ->
+    Heap.pop_journal_commit heap;
+    Some v
+  | exception Abort ->
+    Heap.pop_journal_abort heap;
+    None
+  | exception e ->
+    Heap.pop_journal_abort heap;
+    raise e
+
+let atomically heap f =
+  match with_txn heap f with Some v -> v | None -> raise Abort

@@ -1,0 +1,65 @@
+(** Stored values and their types.
+
+    The TSE model (like GemStone's Opal, the paper's substrate) stores typed
+    slot values. Attribute definitions carry a {!ty}; the update operators
+    type-check assignments against it. *)
+
+type t =
+  | Null  (** absent / not-yet-assigned slot value *)
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Ref of Oid.t  (** reference to another conceptual object *)
+  | List of t list
+
+type ty =
+  | TAny
+  | TBool
+  | TInt
+  | TFloat
+  | TString
+  | TRef of string  (** reference constrained to members of the named class *)
+  | TList of ty
+
+val equal : t -> t -> bool
+(** Structural equality. OID references compare by identity of the referent,
+    matching the paper's duplicate-elimination criterion ("object identity
+    equality, not value equality"). *)
+
+val compare : t -> t -> int
+
+val tag_compatible : t -> t -> bool
+(** [true] when the two values can be meaningfully ordered against each
+    other (same constructor, or an int/float pair). *)
+
+val conforms : t -> ty -> bool
+(** [conforms v ty] is [true] when [v] may legally be stored in a slot of
+    type [ty]. [Null] conforms to every type; class-constrained references
+    are checked for class membership by the database layer, not here. *)
+
+val ty_equal : ty -> ty -> bool
+
+val ty_compatible : ty -> ty -> bool
+(** [ty_compatible sub sup]: a slot typed [sub] may be read where [sup] is
+    expected. [TAny] is the top. *)
+
+val size_bytes : t -> int
+(** Approximate storage footprint of the value, used by Table 1's storage
+    accounting. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_ty : Format.formatter -> ty -> unit
+val to_string : t -> string
+val ty_to_string : ty -> string
+
+val encode : Buffer.t -> t -> unit
+(** Append a stable, parseable text encoding (snapshot format). *)
+
+val decode : string -> int -> t * int
+(** [decode s pos] parses a value encoded by {!encode} starting at [pos],
+    returning the value and the position one past its end.
+    @raise Failure on malformed input. *)
+
+val encode_ty : Buffer.t -> ty -> unit
+val decode_ty : string -> int -> ty * int

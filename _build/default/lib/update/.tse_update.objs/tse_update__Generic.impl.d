@@ -1,0 +1,1 @@
+lib/update/generic.ml: Format List Printf Tse_db Tse_schema Tse_store Type_methods

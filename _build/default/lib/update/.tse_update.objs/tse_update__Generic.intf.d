@@ -1,0 +1,1 @@
+lib/update/generic.mli: Tse_db Tse_schema Tse_store Type_methods

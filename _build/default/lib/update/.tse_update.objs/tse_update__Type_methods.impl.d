@@ -1,0 +1,1 @@
+lib/update/type_methods.ml: List Tse_db Tse_schema Tse_store

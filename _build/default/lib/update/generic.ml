@@ -1,0 +1,208 @@
+module Oid = Tse_store.Oid
+module Value = Tse_store.Value
+module Prop = Tse_schema.Prop
+module Klass = Tse_schema.Klass
+module Expr = Tse_schema.Expr
+module Schema_graph = Tse_schema.Schema_graph
+module Type_info = Tse_schema.Type_info
+module Database = Tse_db.Database
+
+type cid = Klass.cid
+
+module Policy = struct
+  type value_closure = Reject | Accept
+  type union_target = First | Second | Both
+
+  type t = { value_closure : value_closure; union_target : union_target }
+
+  let default = { value_closure = Reject; union_target = First }
+  let lenient = { value_closure = Accept; union_target = First }
+end
+
+exception Rejected of string
+
+let rejected fmt = Format.kasprintf (fun s -> raise (Rejected s)) fmt
+
+(* Source classes that receive a create/add through this class. *)
+let rec add_targets policy db cid =
+  let k = Schema_graph.find_exn (Database.graph db) cid in
+  match k.kind with
+  | Klass.Base -> [ cid ]
+  | Klass.Virtual d -> begin
+    match d with
+    | Klass.Select (c, _) | Klass.Hide (_, c) | Klass.Refine (_, c) ->
+      add_targets policy db c
+    | Klass.Refine_from { target; _ } -> add_targets policy db target
+    | Klass.Union (a, b) -> begin
+      match policy.Policy.union_target with
+      | Policy.First -> add_targets policy db a
+      | Policy.Second -> add_targets policy db b
+      | Policy.Both -> add_targets policy db a @ add_targets policy db b
+    end
+    | Klass.Intersect (a, b) -> add_targets policy db a @ add_targets policy db b
+    | Klass.Difference (a, _) -> add_targets policy db a
+  end
+
+let dedup cids =
+  List.fold_left
+    (fun acc c -> if List.exists (Oid.equal c) acc then acc else acc @ [ c ])
+    [] cids
+
+let origin_bases_p policy db cid = dedup (add_targets policy db cid)
+let origin_bases db cid = origin_bases_p Policy.default db cid
+
+(* Every class whose membership the create/add must establish must get its
+   required stored attributes from [init] or from declared defaults. *)
+let check_required db cid init =
+  let graph = Database.graph db in
+  List.iter
+    (fun (p : Prop.t) ->
+      match p.body with
+      | Prop.Stored { required = true; default; _ }
+        when Value.equal default Value.Null ->
+        if not (List.mem_assoc p.name init) then
+          rejected "required attribute %s of %s not assigned" p.name
+            (Schema_graph.name_of graph cid)
+      | Prop.Stored _ | Prop.Method _ -> ())
+    (Type_info.stored_attrs graph cid)
+
+(* Assignments issued through class [cid] may only name properties visible
+   there: a hide class cannot receive values for its hidden attributes. *)
+let check_visible db cid init =
+  let graph = Database.graph db in
+  List.iter
+    (fun (name, _) ->
+      if not (Type_info.has_prop graph cid name) then
+        rejected "attribute %s is not visible on %s" name
+          (Schema_graph.name_of graph cid))
+    init
+
+let check_closure policy db cid o what =
+  match policy.Policy.value_closure with
+  | Policy.Accept -> `Ok
+  | Policy.Reject ->
+    if Database.is_member db o cid then `Ok
+    else `Violation (Printf.sprintf "%s violates the membership predicate" what)
+
+let create ?(policy = Policy.default) ?methods db cid ~init =
+  let graph = Database.graph db in
+  check_visible db cid init;
+  (* type-specific create methods (Section 3.3): transform or refuse *)
+  let init =
+    match methods with
+    | Some m -> Type_methods.run_create m db cid init
+    | None -> init
+  in
+  check_visible db cid init;
+  let bases = origin_bases_p policy db cid in
+  (match bases with
+  | [] -> rejected "class %s has no origin base class" (Schema_graph.name_of graph cid)
+  | _ -> ());
+  List.iter (fun b -> check_required db b init) bases;
+  let o =
+    match bases with
+    | first :: rest ->
+      let o = Database.create_object db first ~init in
+      List.iter (fun b -> Database.add_base_membership db o b) rest;
+      o
+    | [] -> assert false
+  in
+  (* value closure: the new object must actually be a member of the class
+     it was created through *)
+  match check_closure policy db cid o "created object" with
+  | `Ok -> o
+  | `Violation msg ->
+    Database.destroy_object db o;
+    rejected "create through %s rejected: %s" (Schema_graph.name_of graph cid) msg
+
+let delete ?methods db objects =
+  List.iter
+    (fun o ->
+      (match methods with
+      | Some m -> Type_methods.run_delete m db o
+      | None -> ());
+      Database.destroy_object db o)
+    objects
+
+let set ?(policy = Policy.default) ?methods ?through db objects assignments =
+  List.iter
+    (fun o ->
+      (match through with
+      | Some cid when not (Database.is_member db o cid) ->
+        rejected "object %s is not a member of the addressed class"
+          (Oid.to_string o)
+      | Some _ | None -> ());
+      let assignments =
+        match methods with
+        | Some m -> Type_methods.run_set m db o assignments
+        | None -> assignments
+      in
+      let saved =
+        List.map (fun (name, _) -> (name, Database.get_prop db o name)) assignments
+      in
+      List.iter (fun (name, v) -> Database.set_attr db o name v) assignments;
+      match through with
+      | None -> ()
+      | Some cid -> begin
+        match check_closure policy db cid o "updated object" with
+        | `Ok -> ()
+        | `Violation msg ->
+          (* roll the slots back, then refuse *)
+          List.iter (fun (name, v) -> Database.set_attr db o name v) saved;
+          rejected "set through %s rejected: %s"
+            (Schema_graph.name_of (Database.graph db) cid)
+            msg
+      end)
+    objects
+
+let add ?(policy = Policy.default) db objects cid =
+  let bases = origin_bases_p policy db cid in
+  List.iter
+    (fun o ->
+      let before = Database.member_classes db o in
+      List.iter (fun b -> Database.add_base_membership db o b) bases;
+      match check_closure policy db cid o "added object" with
+      | `Ok -> ()
+      | `Violation msg ->
+        (* restore previous membership *)
+        let before_base =
+          List.filter
+            (fun c -> Klass.is_base (Schema_graph.find_exn (Database.graph db) c))
+            before
+        in
+        List.iter
+          (fun b ->
+            if not (List.exists (Oid.equal b) before_base) then
+              Database.remove_base_membership db o b)
+          bases;
+        rejected "add to %s rejected: %s"
+          (Schema_graph.name_of (Database.graph db) cid)
+          msg)
+    objects
+
+(* Source classes that a remove propagates to (delete/remove/set always go
+   to both arguments of a set operation if the object is a member). *)
+let rec remove_targets db cid o =
+  let k = Schema_graph.find_exn (Database.graph db) cid in
+  match k.kind with
+  | Klass.Base -> [ cid ]
+  | Klass.Virtual d -> begin
+    let if_member c =
+      if Database.is_member db o c then remove_targets db c o else []
+    in
+    match d with
+    | Klass.Select (c, _) | Klass.Hide (_, c) | Klass.Refine (_, c) ->
+      remove_targets db c o
+    | Klass.Refine_from { target; _ } -> remove_targets db target o
+    | Klass.Union (a, b) -> if_member a @ if_member b
+    | Klass.Intersect (a, b) -> if_member a @ if_member b
+    | Klass.Difference (a, _) -> remove_targets db a o
+  end
+
+let remove ?policy db objects cid =
+  ignore policy;
+  List.iter
+    (fun o ->
+      let bases = dedup (remove_targets db cid o) in
+      List.iter (fun b -> Database.remove_base_membership db o b) bases)
+    objects

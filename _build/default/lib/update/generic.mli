@@ -1,0 +1,86 @@
+(** The generic update operators (Section 3.3) and their propagation
+    through virtual classes (Section 3.4).
+
+    Updates issued against a virtual class are translated, along the
+    source relationships of its derivation, into updates on its {e origin}
+    base classes:
+    - select/hide/refine/refine-from propagate to their (single) source;
+    - union propagates {b create}/{b add} to its {e first} argument — the
+      class the union substitutes in the evolved view, which is exactly
+      the paper's resolution of the ambiguity (Section 6.5.4) — and
+      {b delete}/{b remove}/{b set} to both;
+    - intersect propagates to both arguments;
+    - difference propagates to its first argument.
+
+    The {e value closure} problem (Section 3.4): creating or setting an
+    object through a select (or difference) class such that the object
+    does not satisfy the class's predicate. Both solutions offered by the
+    paper are implemented as policies: [Reject] refuses the update,
+    [Accept] performs it on the source classes, leaving the object outside
+    the virtual class. *)
+
+type cid = Tse_schema.Klass.cid
+
+module Policy : sig
+  type value_closure = Reject | Accept
+  type union_target = First | Second | Both
+
+  type t = { value_closure : value_closure; union_target : union_target }
+
+  val default : t
+  (** [{ value_closure = Reject; union_target = First }] *)
+
+  val lenient : t
+  (** [{ value_closure = Accept; union_target = First }] *)
+end
+
+exception Rejected of string
+(** An update refused under the current policy (value-closure violation,
+    assignment to a hidden or unknown attribute, missing required
+    attribute). The database is left unchanged. *)
+
+val origin_bases : Tse_db.Database.t -> cid -> cid list
+(** The origin classes of a class: the base classes reached by following
+    source relationships (Section 3.4); the class itself if it is base.
+    Uses the [First]-argument route for unions (see above) — pass a policy
+    via {!origin_bases_p} to choose otherwise. *)
+
+val origin_bases_p : Policy.t -> Tse_db.Database.t -> cid -> cid list
+
+val create :
+  ?policy:Policy.t ->
+  ?methods:Type_methods.t ->
+  Tse_db.Database.t ->
+  cid ->
+  init:(string * Tse_store.Value.t) list ->
+  Tse_store.Oid.t
+(** [(<class> create [assignments])]: create an object through any (base
+    or virtual) class. Assignments may only name properties visible on the
+    class; required stored attributes of the origin classes must be
+    assigned or have defaults.
+    @raise Rejected per policy. *)
+
+val delete :
+  ?methods:Type_methods.t -> Tse_db.Database.t -> Tse_store.Oid.t list -> unit
+(** [(<set-expr> delete)]: destroy the objects — removed from {e all}
+    classes. *)
+
+val set :
+  ?policy:Policy.t ->
+  ?methods:Type_methods.t ->
+  ?through:cid ->
+  Tse_db.Database.t ->
+  Tse_store.Oid.t list ->
+  (string * Tse_store.Value.t) list ->
+  unit
+(** [(<set-expr> set [assignments])]. With [~through] and a [Reject]
+    policy, an assignment that would expel an object from the class it was
+    addressed through is rolled back and refused. *)
+
+val add :
+  ?policy:Policy.t -> Tse_db.Database.t -> Tse_store.Oid.t list -> cid -> unit
+(** [(<set-expr> add <class>)]: the objects acquire the class's type. *)
+
+val remove :
+  ?policy:Policy.t -> Tse_db.Database.t -> Tse_store.Oid.t list -> cid -> unit
+(** [(<set-expr> remove <class>)]: the objects lose the class's type. *)

@@ -1,0 +1,55 @@
+module Oid = Tse_store.Oid
+module Value = Tse_store.Value
+module Schema_graph = Tse_schema.Schema_graph
+module Database = Tse_db.Database
+
+type cid = Tse_schema.Klass.cid
+
+type init = (string * Value.t) list
+
+type t = {
+  creates : (Database.t -> init -> init) list ref Oid.Tbl.t;
+  sets : (Database.t -> Oid.t -> init -> init) list ref Oid.Tbl.t;
+  deletes : (Database.t -> Oid.t -> unit) list ref Oid.Tbl.t;
+}
+
+let create () =
+  { creates = Oid.Tbl.create 8; sets = Oid.Tbl.create 8; deletes = Oid.Tbl.create 8 }
+
+let push tbl cid f =
+  match Oid.Tbl.find_opt tbl cid with
+  | Some r -> r := !r @ [ f ]
+  | None -> Oid.Tbl.replace tbl cid (ref [ f ])
+
+let on_create t cid f = push t.creates cid f
+let on_set t cid f = push t.sets cid f
+let on_delete t cid f = push t.deletes cid f
+
+let hooks tbl cid = match Oid.Tbl.find_opt tbl cid with Some r -> !r | None -> []
+
+(* the addressed class and its ancestors, most general first *)
+let lineage db cid =
+  let graph = Database.graph db in
+  let ancs = Oid.Set.elements (Schema_graph.ancestors graph cid) in
+  List.sort Oid.compare ancs @ [ cid ]
+
+let run_create t db cid init =
+  List.fold_left
+    (fun init c -> List.fold_left (fun init f -> f db init) init (hooks t.creates c))
+    init (lineage db cid)
+
+let run_set t db o assignments =
+  let members = List.sort Oid.compare (Database.member_classes db o) in
+  List.fold_left
+    (fun acc c -> List.fold_left (fun acc f -> f db o acc) acc (hooks t.sets c))
+    assignments members
+
+let run_delete t db o =
+  let members = List.sort Oid.compare (Database.member_classes db o) in
+  List.iter
+    (fun c -> List.iter (fun f -> f db o) (hooks t.deletes c))
+    members
+
+let hook_count t =
+  let count tbl = Oid.Tbl.fold (fun _ r acc -> acc + List.length !r) tbl 0 in
+  count t.creates + count t.sets + count t.deletes

@@ -1,0 +1,66 @@
+(** Type-specific update methods (paper, Section 3.3).
+
+    "Generic update operations can either be used directly or, if desired,
+    overridden by type implementors to define type-specific methods. Then,
+    arbitrary computations can be performed in such a method e.g., to
+    check some constraints, to update additional information, or even to
+    refuse the update."
+
+    A registry maps classes to hooks; {!Generic} consults it when invoked
+    with [~methods]. Hooks fire for the class the operation was addressed
+    through {e and} for every class the object is (becoming) a member of,
+    most general first — so a constraint installed on [Person] also guards
+    creation through [Student]. *)
+
+type cid = Tse_schema.Klass.cid
+type t
+
+val create : unit -> t
+
+val on_create :
+  t ->
+  cid ->
+  (Tse_db.Database.t ->
+  (string * Tse_store.Value.t) list ->
+  (string * Tse_store.Value.t) list) ->
+  unit
+(** Transform (or validate) the initialization list before a create that
+    would make the object a member of the class. Raise
+    {!Generic.Rejected} to refuse. Multiple hooks compose in installation
+    order. *)
+
+val on_set :
+  t ->
+  cid ->
+  (Tse_db.Database.t ->
+  Tse_store.Oid.t ->
+  (string * Tse_store.Value.t) list ->
+  (string * Tse_store.Value.t) list) ->
+  unit
+(** Transform/validate the assignment list of a set touching a member of
+    the class. *)
+
+val on_delete :
+  t -> cid -> (Tse_db.Database.t -> Tse_store.Oid.t -> unit) -> unit
+(** Observe (or veto, by raising) the destruction of a member. *)
+
+val run_create :
+  t ->
+  Tse_db.Database.t ->
+  cid ->
+  (string * Tse_store.Value.t) list ->
+  (string * Tse_store.Value.t) list
+(** Fold all applicable create hooks (the class and its ancestors, most
+    general first) over the initialization list. *)
+
+val run_set :
+  t ->
+  Tse_db.Database.t ->
+  Tse_store.Oid.t ->
+  (string * Tse_store.Value.t) list ->
+  (string * Tse_store.Value.t) list
+(** Fold all set hooks of the object's member classes. *)
+
+val run_delete : t -> Tse_db.Database.t -> Tse_store.Oid.t -> unit
+
+val hook_count : t -> int

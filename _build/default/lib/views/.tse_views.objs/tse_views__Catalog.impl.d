@@ -1,0 +1,1 @@
+lib/views/catalog.ml: Buffer History Int List Printf String Sys Tse_db Tse_schema Tse_store View_schema

@@ -1,0 +1,1 @@
+lib/views/catalog.mli: History Tse_db

@@ -1,0 +1,1 @@
+lib/views/closure.ml: List Tse_db Tse_schema Tse_store View_schema

@@ -1,0 +1,1 @@
+lib/views/closure.mli: Tse_db Tse_schema View_schema

@@ -1,0 +1,1 @@
+lib/views/generation.ml: Format List Printf String Tse_schema Tse_store View_schema

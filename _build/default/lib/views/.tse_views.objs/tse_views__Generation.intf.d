@@ -1,0 +1,1 @@
+lib/views/generation.mli: Format Tse_schema View_schema

@@ -1,0 +1,1 @@
+lib/views/history.ml: Hashtbl List Printf String View_schema

@@ -1,0 +1,1 @@
+lib/views/history.mli: View_schema

@@ -1,0 +1,1 @@
+lib/views/view_schema.ml: Format Hashtbl List Printf String Tse_schema Tse_store

@@ -1,0 +1,1 @@
+lib/views/view_schema.mli: Format Tse_schema Tse_store

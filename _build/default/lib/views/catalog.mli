@@ -1,0 +1,21 @@
+(** Whole-database persistence: schema + objects + view history in one
+    stable text artifact.
+
+    The paper ran on GemStone, which persisted everything; our store
+    substitutes for it (DESIGN.md), and this module closes the loop: a
+    catalog carries the global schema graph (classes with their
+    derivations and properties, so virtual classes stay {e virtual} after
+    a reload), the heap snapshot, the per-object base memberships, and
+    every registered view version. Loading reconstructs a fully
+    operational {!Tse_db.Database.t} — evolution can continue where it
+    stopped. *)
+
+val to_string : ?history:History.t -> Tse_db.Database.t -> string
+
+val of_string : string -> Tse_db.Database.t * History.t
+(** @raise Failure on malformed input. *)
+
+val save : ?history:History.t -> Tse_db.Database.t -> string -> unit
+(** Atomic write (temp file + rename). *)
+
+val load : string -> Tse_db.Database.t * History.t

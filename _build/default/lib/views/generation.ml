@@ -1,0 +1,73 @@
+module Oid = Tse_store.Oid
+module Schema_graph = Tse_schema.Schema_graph
+
+type cid = Tse_schema.Klass.cid
+
+let edges graph view =
+  let members = View_schema.classes view in
+  let set = View_schema.class_set view in
+  let pairs = ref [] in
+  List.iter
+    (fun sub ->
+      (* global strict ancestors of [sub] inside the view *)
+      let ancs = Oid.Set.inter (Schema_graph.ancestors graph sub) set in
+      (* keep only the minimal ones: no other view ancestor in between *)
+      Oid.Set.iter
+        (fun sup ->
+          let blocked =
+            Oid.Set.exists
+              (fun mid ->
+                (not (Oid.equal mid sup))
+                && Schema_graph.is_strict_ancestor graph ~anc:sup ~desc:mid)
+              ancs
+          in
+          if not blocked then pairs := (sup, sub) :: !pairs)
+        ancs)
+    members;
+  List.rev !pairs
+
+let direct_supers_in_view graph view cid =
+  List.filter_map
+    (fun (sup, sub) -> if Oid.equal sub cid then Some sup else None)
+    (edges graph view)
+
+let direct_subs_in_view graph view cid =
+  List.filter_map
+    (fun (sup, sub) -> if Oid.equal sup cid then Some sub else None)
+    (edges graph view)
+
+let roots graph view =
+  List.filter
+    (fun cid -> direct_supers_in_view graph view cid = [])
+    (View_schema.classes view)
+
+let descendants_in_view graph view cid =
+  let set = View_schema.class_set view in
+  Schema_graph.subclasses_within graph cid ~in_set:set
+
+let edges_signature graph view =
+  let name cid =
+    match View_schema.local_name view cid with
+    | Some n -> n
+    | None -> Schema_graph.name_of graph cid
+  in
+  edges graph view
+  |> List.map (fun (sup, sub) -> Printf.sprintf "%s>%s" (name sup) (name sub))
+  |> List.sort String.compare
+  |> String.concat ";"
+
+let pp graph ppf view =
+  Format.fprintf ppf "@[<v 2>view %s (v%d):@ " view.View_schema.view_name
+    view.View_schema.version;
+  let name cid =
+    match View_schema.local_name view cid with
+    | Some n -> n
+    | None -> Schema_graph.name_of graph cid
+  in
+  List.iter
+    (fun cid ->
+      let supers = direct_supers_in_view graph view cid in
+      Format.fprintf ppf "%s <- {%s}@ " (name cid)
+        (String.concat ", " (List.map name supers)))
+    (View_schema.classes view);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+let scheme = "VS.<n>"
+
+type t = (string, View_schema.t list ref) Hashtbl.t
+(* view name -> versions, newest first *)
+
+let create () = Hashtbl.create 8
+
+let versions_ref t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t name r;
+    r
+
+let current t name =
+  match Hashtbl.find_opt t name with
+  | Some { contents = v :: _ } -> Some v
+  | Some { contents = [] } | None -> None
+
+let current_exn t name =
+  match current t name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "History: no view named %s" name)
+
+let register t (v : View_schema.t) =
+  let r = versions_ref t v.view_name in
+  let expected = match !r with [] -> 0 | latest :: _ -> latest.View_schema.version + 1 in
+  if v.version <> expected then
+    invalid_arg
+      (Printf.sprintf "History.register: expected %s version %d, got %d"
+         v.view_name expected v.version);
+  r := v :: !r
+
+let replace t (v : View_schema.t) =
+  let r = versions_ref t v.view_name in
+  let next = match !r with [] -> 0 | latest :: _ -> latest.View_schema.version + 1 in
+  let v = View_schema.with_version v next in
+  r := v :: !r;
+  v
+
+let version t name n =
+  match Hashtbl.find_opt t name with
+  | None -> None
+  | Some r -> List.find_opt (fun (v : View_schema.t) -> v.version = n) !r
+
+let versions t name =
+  match Hashtbl.find_opt t name with
+  | None -> []
+  | Some r -> List.rev !r
+
+let view_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort String.compare
+
+let total_versions t = Hashtbl.fold (fun _ r acc -> acc + List.length !r) t 0

@@ -1,0 +1,32 @@
+(** The View Schema History (paper, Section 5): the dictionary tracking
+    every version of every view, "allowing for the substitution of the old
+    view by the newly created one".
+
+    Old versions are never discarded — programs written against them keep
+    running, which is the whole point of the TSE approach. *)
+
+val scheme : string
+(** Version naming scheme used in messages: ["VS.<n>"]. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> View_schema.t -> unit
+(** Record a view version. The version number must be one greater than the
+    current latest for that view name (or 0 for a new view).
+    @raise Invalid_argument otherwise. *)
+
+val replace : t -> View_schema.t -> View_schema.t
+(** [replace h v] registers [v] re-versioned as the successor of the
+    current version of its view, and returns the registered copy — the
+    "replace the old view with the new one" step of the TSE pipeline. *)
+
+val current : t -> string -> View_schema.t option
+val current_exn : t -> string -> View_schema.t
+val version : t -> string -> int -> View_schema.t option
+val versions : t -> string -> View_schema.t list
+(** Oldest first. *)
+
+val view_names : t -> string list
+val total_versions : t -> int

@@ -1,0 +1,1 @@
+lib/workload/cars.ml: List Printf Tse_schema Tse_store

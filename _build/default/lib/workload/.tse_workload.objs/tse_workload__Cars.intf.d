@@ -1,0 +1,1 @@
+lib/workload/cars.mli: Tse_schema Tse_store

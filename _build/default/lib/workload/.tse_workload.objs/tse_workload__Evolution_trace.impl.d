@@ -1,0 +1,1 @@
+lib/workload/evolution_trace.ml: Int List Printf Random Tse_core Tse_schema Tse_store

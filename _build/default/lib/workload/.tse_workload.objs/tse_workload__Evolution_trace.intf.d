@@ -1,0 +1,1 @@
+lib/workload/evolution_trace.mli: Tse_core

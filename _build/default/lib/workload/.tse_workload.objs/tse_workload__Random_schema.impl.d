@@ -1,0 +1,1 @@
+lib/workload/random_schema.ml: Array List Printf Random Tse_db Tse_schema Tse_store

@@ -1,0 +1,1 @@
+lib/workload/random_schema.mli: Random Tse_db Tse_schema

@@ -1,0 +1,1 @@
+lib/workload/university.ml: List Printf Tse_db Tse_schema Tse_store

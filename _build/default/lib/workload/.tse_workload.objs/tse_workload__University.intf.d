@@ -1,0 +1,1 @@
+lib/workload/university.mli: Tse_db Tse_schema Tse_store

@@ -1,0 +1,55 @@
+module Value = Tse_store.Value
+module Oid = Tse_store.Oid
+module Prop = Tse_schema.Prop
+module Schema_graph = Tse_schema.Schema_graph
+module Heap = Tse_store.Heap
+
+type cid = Tse_schema.Klass.cid
+
+type t = {
+  graph : Schema_graph.t;
+  heap : Heap.t;
+  car : cid;
+  jeep : cid;
+  imported : cid;
+}
+
+let o0 = Oid.of_int 0
+let stored = Prop.stored ~origin:o0
+
+let build () =
+  let heap = Heap.create () in
+  let graph = Schema_graph.create ~gen:(Heap.gen heap) in
+  let car =
+    Schema_graph.register_base graph ~name:"Car"
+      ~props:
+        [ stored "model" Value.TString; stored "weight" Value.TInt ]
+      ~supers:[]
+  in
+  let jeep =
+    Schema_graph.register_base graph ~name:"Jeep"
+      ~props:[ stored "offroad" Value.TBool ]
+      ~supers:[ car ]
+  in
+  let imported =
+    Schema_graph.register_base graph ~name:"Imported"
+      ~props:[ stored "nation" Value.TString ]
+      ~supers:[ car ]
+  in
+  { graph; heap; car; jeep; imported }
+
+let deep_chain ~depth =
+  let t = build () in
+  let rec extend parent i acc =
+    if i >= depth then List.rev acc
+    else
+      let cid =
+        Schema_graph.register_base t.graph
+          ~name:(Printf.sprintf "Trim%d" i)
+          ~props:[ stored (Printf.sprintf "feature%d" i) Value.TInt ]
+          ~supers:[ parent ]
+      in
+      extend cid (i + 1) (cid :: acc)
+  in
+  let chain = extend t.car 0 [] in
+  t, chain

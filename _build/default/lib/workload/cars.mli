@@ -1,0 +1,26 @@
+(** The car schema of Figure 5, used by the multiple-classification
+    comparison (Section 4 / Table 1).
+
+    [Car] with stored attributes; [Jeep] a subclass; [Imported] another
+    subclass carrying [nation] — an object may need to be both a [Jeep]
+    and [Imported], which is exactly the multiple-classification dilemma
+    the two architectures resolve differently. Built directly on a schema
+    graph + heap (no database kernel) so both object models can drive it. *)
+
+type cid = Tse_schema.Klass.cid
+
+type t = {
+  graph : Tse_schema.Schema_graph.t;
+  heap : Tse_store.Heap.t;
+  car : cid;
+  jeep : cid;
+  imported : cid;
+}
+
+val build : unit -> t
+
+val deep_chain : depth:int -> t * cid list
+(** [build ()] extended with a linear chain of [depth] subclasses under
+    [Car], each adding one attribute — the workload for the
+    inherited-attribute-access benchmark (Table 1's query-performance
+    row). Returns the chain from shallowest to deepest. *)

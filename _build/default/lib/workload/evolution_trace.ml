@@ -1,0 +1,129 @@
+module Value = Tse_store.Value
+module Change = Tse_core.Change
+module Tsem = Tse_core.Tsem
+
+type summary = {
+  months : int;
+  adds_attribute : int;
+  deletes_attribute : int;
+  adds_method : int;
+  adds_class : int;
+  total : int;
+}
+
+let generate ~seed ~months ~initial_classes ~initial_attrs =
+  let rng = Random.State.make [| seed |] in
+  (* calibration targets over the whole trace (scaled to its length
+     relative to the 18-month study) *)
+  let scale = float_of_int months /. 18. in
+  let target_class_adds =
+    max 1 (int_of_float (1.39 *. float_of_int initial_classes *. scale))
+  in
+  let target_attr_changes =
+    max 1 (int_of_float (0.59 *. float_of_int initial_attrs *. scale))
+  in
+  (* each change re-adds a replacement attribute, so the direct additions
+     are the 274% growth target minus those replacements *)
+  let target_attr_adds =
+    max 1
+      (int_of_float (2.74 *. float_of_int initial_attrs *. scale)
+      - target_attr_changes)
+  in
+  let next_attr = ref 100000 in
+  let next_class = ref 100000 in
+  let next_method = ref 0 in
+  let fresh_attr () =
+    incr next_attr;
+    Printf.sprintf "a%d" !next_attr
+  in
+  let changes = ref [] in
+  let class_pool = ref (List.init initial_classes (fun i -> Printf.sprintf "C%d" i)) in
+  let pick pool = List.nth pool (Random.State.int rng (List.length pool)) in
+  (* attributes known to have been added (so a "change" can delete one) *)
+  let added_attrs = ref [] in
+  let emit month c = changes := (month, c) :: !changes in
+  let month_of i total = 1 + (i * months / max 1 total) in
+  (* attribute additions *)
+  for i = 0 to target_attr_adds - 1 do
+    let cls = pick !class_pool in
+    let name = fresh_attr () in
+    added_attrs := (cls, name) :: !added_attrs;
+    emit (month_of i target_attr_adds)
+      (Change.Add_attribute { cls; def = Change.attr name Value.TInt })
+  done;
+  (* attribute changes: delete a previously added attribute and add a
+     replacement (the realizable form of "59% of attributes changed") *)
+  for i = 0 to target_attr_changes - 1 do
+    match !added_attrs with
+    | [] -> ()
+    | pool ->
+      let cls, name = pick pool in
+      added_attrs := List.filter (fun (_, n) -> n <> name) !added_attrs;
+      let month = month_of i target_attr_changes in
+      emit month (Change.Delete_attribute { cls; attr_name = name });
+      let name' = fresh_attr () in
+      added_attrs := (cls, name') :: !added_attrs;
+      emit month
+        (Change.Add_attribute { cls; def = Change.attr name' Value.TString })
+  done;
+  (* class additions *)
+  for i = 0 to target_class_adds - 1 do
+    incr next_class;
+    let cls = Printf.sprintf "C%d" !next_class in
+    let anchor = pick !class_pool in
+    class_pool := cls :: !class_pool;
+    emit (month_of i target_class_adds)
+      (Change.Add_class { cls; connected_to = Some anchor })
+  done;
+  (* sprinkle a few methods *)
+  for i = 0 to max 1 (target_attr_adds / 4) - 1 do
+    incr next_method;
+    let cls = pick !class_pool in
+    emit (month_of i (max 1 (target_attr_adds / 4)))
+      (Change.Add_method
+         {
+           cls;
+           method_name = Printf.sprintf "m%d" !next_method;
+           body = Tse_schema.Expr.int !next_method;
+         })
+  done;
+  List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev !changes)
+
+let summarize trace =
+  let s =
+    {
+      months = List.fold_left (fun acc (m, _) -> max acc m) 0 trace;
+      adds_attribute = 0;
+      deletes_attribute = 0;
+      adds_method = 0;
+      adds_class = 0;
+      total = List.length trace;
+    }
+  in
+  List.fold_left
+    (fun s (_, c) ->
+      match c with
+      | Change.Add_attribute _ -> { s with adds_attribute = s.adds_attribute + 1 }
+      | Change.Delete_attribute _ ->
+        { s with deletes_attribute = s.deletes_attribute + 1 }
+      | Change.Add_method _ -> { s with adds_method = s.adds_method + 1 }
+      | Change.Add_class _ -> { s with adds_class = s.adds_class + 1 }
+      | Change.Delete_method _ | Change.Add_edge _ | Change.Delete_edge _
+      | Change.Delete_class _ | Change.Insert_class _ | Change.Delete_class_2 _
+      | Change.Rename_class _ | Change.Partition_class _
+      | Change.Coalesce_classes _ ->
+        s)
+    s trace
+
+let ratios s ~initial_classes ~initial_attrs =
+  ( float_of_int s.adds_class /. float_of_int (max 1 initial_classes),
+    float_of_int s.adds_attribute /. float_of_int (max 1 initial_attrs),
+    float_of_int s.deletes_attribute /. float_of_int (max 1 initial_attrs) )
+
+let replay tsem ~view trace ~applied ~rejected =
+  List.iter
+    (fun (_, change) ->
+      match Tsem.evolve tsem ~view change with
+      | _ -> incr applied
+      | exception Change.Rejected _ -> incr rejected)
+    trace

@@ -1,0 +1,49 @@
+(** Synthetic schema-evolution traces calibrated to the measurements the
+    paper's introduction cites:
+
+    - Sjøberg's 18-month health-management-system study [26]: classes
+      (+139%), attributes (+274%), "every relation has been changed";
+    - Marche's seven-application stability study [12]: on average 59% of
+      attributes changed.
+
+    The original traces are unpublished, so [generate] synthesizes a
+    seeded change sequence whose aggregate counts match those ratios for
+    a given starting schema size; the longitudinal benchmark replays it
+    through the TSE pipeline. *)
+
+type summary = {
+  months : int;
+  adds_attribute : int;
+  deletes_attribute : int;  (** attribute changes, realized as delete+add *)
+  adds_method : int;
+  adds_class : int;
+  total : int;
+}
+
+val generate :
+  seed:int ->
+  months:int ->
+  initial_classes:int ->
+  initial_attrs:int ->
+  (int * Tse_core.Change.t) list
+(** [(month, change)] pairs, ordered by month. Class and attribute names
+    are drawn from a [C<i>]/[a<i>] namespace matching
+    {!Random_schema.generate}'s output, so the trace can be replayed
+    against such a schema. *)
+
+val summarize : (int * Tse_core.Change.t) list -> summary
+
+val ratios :
+  summary -> initial_classes:int -> initial_attrs:int -> float * float * float
+(** [(class growth, attribute growth, fraction of attributes changed)] —
+    compare against (1.39, 2.74, 0.59). *)
+
+val replay :
+  Tse_core.Tsem.t ->
+  view:string ->
+  (int * Tse_core.Change.t) list ->
+  applied:int ref ->
+  rejected:int ref ->
+  unit
+(** Apply the trace through the TSEM, counting rejected changes (a change
+    can become inapplicable when an earlier one removed its target). *)

@@ -1,0 +1,25 @@
+(** Seeded random schemas and populations, for property tests and
+    scalability benchmarks.
+
+    Schemas are rooted DAGs: each class gets one or (occasionally) two
+    superclasses among the previously created ones, and a few stored
+    attributes with distinct names, so multiple-inheritance diamonds and
+    deep chains both occur. All randomness is drawn from a caller-seeded
+    state — identical seeds give identical databases (the twin-fixture
+    requirement of the verification tests). *)
+
+type t = {
+  db : Tse_db.Database.t;
+  classes : Tse_schema.Klass.cid list;  (** creation order: supers first *)
+}
+
+val generate :
+  seed:int -> classes:int -> ?attrs_per_class:int -> ?objects:int -> unit -> t
+(** [objects] objects are spread uniformly over the classes (default 0).
+    [attrs_per_class] defaults to 3. *)
+
+val class_names : t -> string list
+
+val random_class : Random.State.t -> t -> Tse_schema.Klass.cid
+val random_attr : Random.State.t -> t -> Tse_schema.Klass.cid -> string option
+(** A stored attribute usable at the class, if any. *)

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Database Expr Invariants List Oid Ops Option Prop Schema_graph String Tse_algebra Tse_db Tse_schema Tse_store Tse_workload Type_info Value

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Closql Criteria Encore Goose List Orion Result Rose Tse_baselines

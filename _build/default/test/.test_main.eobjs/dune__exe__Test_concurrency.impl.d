@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Database List Occ Result Tse_concurrency Tse_core Tse_db Tse_store Tse_workload Value

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Database Expr Klass List Oid Printf Prop Schema_graph Tse_db Tse_schema Tse_store Tse_workload Value

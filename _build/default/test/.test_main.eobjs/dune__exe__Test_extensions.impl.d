@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Change Database Expr Generation Impact List Oid Schema_graph String Tse_core Tse_db Tse_schema Tse_store Tse_views Tse_workload Tsem Value Verify View_schema

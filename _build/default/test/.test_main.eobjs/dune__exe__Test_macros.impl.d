@@ -1,0 +1,1 @@
+test/test_macros.ml: Alcotest Database Expr List Macros Oid Prop Schema_graph String Tse_algebra Tse_core Tse_db Tse_schema Tse_store Tse_workload Value

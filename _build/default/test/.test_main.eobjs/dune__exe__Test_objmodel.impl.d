@@ -1,0 +1,1 @@
+test/test_objmodel.ml: Alcotest Heap Intersection Model_sig Oid Option Schema_graph Slicing Stats Tse_objmodel Tse_schema Tse_store Tse_workload Value

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Database Engine Expr Format Indexes List Oid Option Tse_algebra Tse_core Tse_db Tse_query Tse_schema Tse_store Tse_update Tse_views Tse_workload Value

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Expr Invariants Klass List Oid Option Prop Schema_graph Tse_schema Tse_store Type_info Value

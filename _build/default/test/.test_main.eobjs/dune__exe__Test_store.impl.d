@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Buffer Filename Heap Index List Oid QCheck QCheck_alcotest Snapshot Stats Sys Tse_store Txn Value

@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest Database Expr List Oid Ops Schema_graph Surface Tse_algebra Tse_db Tse_schema Tse_store Tse_workload Type_info Value

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Database Expr Generic List Oid Ops Prop Schema_graph Tse_algebra Tse_db Tse_schema Tse_store Tse_update Tse_workload Type_methods Value

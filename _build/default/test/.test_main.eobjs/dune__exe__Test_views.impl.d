@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Closure Database Generation History Klass List Oid Prop Schema_graph Tse_db Tse_schema Tse_store Tse_views Tse_workload Value View_schema

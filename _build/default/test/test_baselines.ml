@@ -1,0 +1,170 @@
+(* Tests for the related-work simulators and the executable Table 2. *)
+
+open Tse_baselines
+
+let check = Alcotest.check
+
+let test_orion_no_sharing () =
+  let t = Orion.create () in
+  let v1 = Orion.initial_version t in
+  Orion.add_class t v1 "Person" [ "name" ];
+  let p = Orion.create_object t v1 ~cls:"Person" [ ("name", "ada") ] in
+  let v2 = Orion.derive_version t ~from:v1 [ ("Person", [ "name"; "email" ]) ] in
+  Alcotest.(check bool) "invisible under v2" false (Orion.visible t v2 p);
+  let p' = Orion.copy_forward t p ~to_:v2 in
+  Alcotest.(check bool) "copy has new identity" false (Orion.same_identity p p');
+  check Alcotest.(option string) "values converted" (Some "ada")
+    (Orion.get t v2 p' "name");
+  (* original freezes *)
+  (match Orion.set t v1 p "name" "eve" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "frozen object accepted update");
+  (* no back propagation *)
+  Orion.delete_object t v2 p';
+  Alcotest.(check bool) "old version still sees the object" true
+    (Orion.visible t v1 p);
+  check Alcotest.int "one copy made" 1 (Orion.copies_made t)
+
+let test_orion_whole_schema_copy () =
+  let t = Orion.create () in
+  let v1 = Orion.initial_version t in
+  List.iter (fun c -> Orion.add_class t v1 c [ "x" ]) [ "A"; "B"; "C"; "D" ];
+  check Alcotest.int "four classes" 4 (Orion.class_count_total t);
+  ignore (Orion.derive_version t ~from:v1 [ ("A", [ "x"; "y" ]) ]);
+  (* deriving duplicated ALL classes, not just the changed one *)
+  check Alcotest.int "eight class records" 8 (Orion.class_count_total t)
+
+let test_encore_handlers () =
+  let t = Encore.create () in
+  let v1 = Encore.define_type t "Person" [ "name" ] in
+  let p = Encore.create_object t "Person" v1 [ ("name", "ada") ] in
+  let v2 = Encore.new_type_version t "Person" [ "name"; "email" ] in
+  (* shared instance: readable through the new version *)
+  check
+    (Alcotest.result Alcotest.string Alcotest.string)
+    "name readable" (Ok "ada")
+    (Encore.read t ~as_of:v2 p "name");
+  (* missing attribute fails without a handler *)
+  Alcotest.(check bool) "email needs handler" true
+    (Result.is_error (Encore.read t ~as_of:v2 p "email"));
+  Encore.install_handler t "Person" ~from_version:v1 ~attr:"email" (fun _ ->
+      "unknown@example");
+  check
+    (Alcotest.result Alcotest.string Alcotest.string)
+    "handler answers" (Ok "unknown@example")
+    (Encore.read t ~as_of:v2 p "email");
+  check Alcotest.int "one handler = one unit of user effort" 1
+    (Encore.handlers_installed t)
+
+let test_closql_conversion_chain () =
+  let t = Closql.create () in
+  let v1 = Closql.define_class t "P" [ "a" ] in
+  let _v2 = Closql.new_class_version t "P" [ "a"; "b" ] in
+  let v3 = Closql.new_class_version t "P" [ "a"; "b"; "c" ] in
+  let o = Closql.create_object t "P" v1 [ ("a", "1") ] in
+  Closql.install_update t "P" ~from_version:v1 ~attr:"b" (fun slots ->
+      match List.assoc_opt "a" slots with Some a -> a ^ "b" | None -> "b");
+  Closql.install_update t "P" ~from_version:(List.nth (Closql.versions_of t "P") 1)
+    ~attr:"c" (fun _ -> "c0");
+  let before = Closql.conversions_performed t in
+  check
+    (Alcotest.result Alcotest.string Alcotest.string)
+    "b synthesized across the chain" (Ok "1b")
+    (Closql.read t ~as_of:v3 o "b");
+  check
+    (Alcotest.result Alcotest.string Alcotest.string)
+    "c synthesized" (Ok "c0")
+    (Closql.read t ~as_of:v3 o "c");
+  Alcotest.(check bool) "conversions cost counted" true
+    (Closql.conversions_performed t > before);
+  check Alcotest.int "two functions = two units of effort" 2
+    (Closql.functions_installed t)
+
+let test_goose_composition () =
+  let t = Goose.create () in
+  let pv1 = Goose.define_class t "Person" [ "name" ] in
+  let sv1 = Goose.define_class t "Student" ~super:"Person" [ "gpa" ] in
+  let pv2 = Goose.new_class_version t "Person" [ "name"; "email" ] in
+  (* flexibility: mix old Student with new Person *)
+  (match Goose.compose t [ ("Person", pv2); ("Student", sv1) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* consistency checking: a composition missing a needed superclass fails *)
+  (match Goose.compose t [ ("Student", sv1) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inconsistent composition accepted");
+  (* wrong version ids are rejected *)
+  (match Goose.compose t [ ("Person", sv1) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign version accepted");
+  (* shared instances *)
+  let o = Goose.create_object t "Person" pv1 [ ("name", "ada") ] in
+  let schema = Result.get_ok (Goose.compose t [ ("Person", pv2) ]) in
+  check
+    (Alcotest.result Alcotest.string Alcotest.string)
+    "shared read" (Ok "ada") (Goose.read t schema o "name")
+
+let test_rose_automatic () =
+  let t = Rose.create () in
+  let v1 = Rose.define_type t "P" [ ("a", "") ] in
+  let v2 = Rose.new_type_version t "P" [ ("a", ""); ("b", "default-b") ] in
+  let o = Rose.create_object t "P" v1 [ ("a", "1") ] in
+  check
+    (Alcotest.result Alcotest.string Alcotest.string)
+    "auto-resolved" (Ok "default-b")
+    (Rose.read t ~as_of:v2 o "b");
+  check Alcotest.int "resolution counted" 1 (Rose.auto_resolutions t)
+
+let test_table2_matches_paper () =
+  let rows = Criteria.run_all () in
+  check Alcotest.int "six systems" 6 (List.length rows);
+  let find name = List.find (fun r -> r.Criteria.system = name) rows in
+  let expect name ~sharing ~flexibility ~subschema ~views ~merging =
+    let r = find name in
+    Alcotest.(check bool) (name ^ " sharing") sharing r.Criteria.sharing;
+    Alcotest.(check bool) (name ^ " flexibility") flexibility r.Criteria.flexibility;
+    Alcotest.(check bool) (name ^ " subschema") subschema
+      r.Criteria.subschema_evolution;
+    Alcotest.(check bool) (name ^ " views+change") views r.Criteria.views_with_change;
+    Alcotest.(check bool) (name ^ " merging") merging r.Criteria.version_merging
+  in
+  (* the paper's Table 2, row by row *)
+  expect "Encore" ~sharing:true ~flexibility:true ~subschema:false ~views:false
+    ~merging:false;
+  expect "Orion" ~sharing:false ~flexibility:false ~subschema:false ~views:false
+    ~merging:false;
+  expect "Goose" ~sharing:true ~flexibility:true ~subschema:false ~views:false
+    ~merging:false;
+  expect "CLOSQL" ~sharing:true ~flexibility:true ~subschema:false ~views:false
+    ~merging:false;
+  expect "Rose" ~sharing:true ~flexibility:true ~subschema:false ~views:false
+    ~merging:false;
+  expect "TSE system" ~sharing:true ~flexibility:false ~subschema:true
+    ~views:true ~merging:true;
+  (* effort: only Encore, CLOSQL and Goose demanded user artifacts *)
+  Alcotest.(check bool) "Encore needs artifacts" true
+    ((find "Encore").Criteria.effort_count > 0);
+  Alcotest.(check bool) "CLOSQL needs artifacts" true
+    ((find "CLOSQL").Criteria.effort_count > 0);
+  check Alcotest.int "TSE needs none" 0 (find "TSE system").Criteria.effort_count;
+  check Alcotest.int "Orion needs none" 0 (find "Orion").Criteria.effort_count;
+  (* subschema numbers: TSE touched fewer classes than Orion duplicated *)
+  Alcotest.(check bool) "TSE touches less than Orion copies" true
+    ((find "TSE system").Criteria.classes_touched
+    < (find "Orion").Criteria.classes_touched)
+
+let suite =
+  [
+    Alcotest.test_case "Orion: copy, freeze, no back propagation" `Quick
+      test_orion_no_sharing;
+    Alcotest.test_case "Orion: whole-schema duplication" `Quick
+      test_orion_whole_schema_copy;
+    Alcotest.test_case "Encore: exception handlers" `Quick test_encore_handlers;
+    Alcotest.test_case "CLOSQL: conversion chains" `Quick
+      test_closql_conversion_chain;
+    Alcotest.test_case "Goose: composition + consistency" `Quick
+      test_goose_composition;
+    Alcotest.test_case "Rose: automatic resolution" `Quick test_rose_automatic;
+    Alcotest.test_case "Table 2 reproduces the paper" `Quick
+      test_table2_matches_paper;
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the optimistic-concurrency session layer. *)
+
+open Tse_store
+open Tse_db
+open Tse_concurrency
+
+let check = Alcotest.check
+let vpp = Alcotest.testable Value.pp Value.equal
+
+let fixture () =
+  let u = Tse_workload.University.build () in
+  let occ = Occ.create u.db in
+  let o =
+    Database.create_object u.db u.student
+      ~init:[ ("name", Value.String "ada"); ("age", Value.Int 20) ]
+  in
+  (u, occ, o)
+
+let test_commit_applies_writes () =
+  let u, occ, o = fixture () in
+  let s = Occ.begin_session occ in
+  check vpp "read through session" (Value.Int 20) (Occ.read s o "age");
+  Occ.write s o "age" (Value.Int 21);
+  (* buffered: not yet visible outside *)
+  check vpp "invisible before commit" (Value.Int 20) (Database.get_prop u.db o "age");
+  (* ... but visible to the session itself *)
+  check vpp "own write visible" (Value.Int 21) (Occ.read s o "age");
+  (match Occ.commit s with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unexpected conflict");
+  check vpp "applied" (Value.Int 21) (Database.get_prop u.db o "age");
+  Alcotest.(check bool) "session closed" false (Occ.is_active s)
+
+let test_first_committer_wins () =
+  let _u, occ, o = fixture () in
+  let s1 = Occ.begin_session occ in
+  let s2 = Occ.begin_session occ in
+  ignore (Occ.read s1 o "age");
+  ignore (Occ.read s2 o "age");
+  Occ.write s1 o "age" (Value.Int 30);
+  Occ.write s2 o "age" (Value.Int 40);
+  (match Occ.commit s1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "first committer must succeed");
+  match Occ.commit s2 with
+  | Ok () -> Alcotest.fail "second committer must conflict"
+  | Error { objects } ->
+    check Alcotest.int "conflicting object reported" 1 (List.length objects)
+
+let test_disjoint_sessions_both_commit () =
+  let u, occ, o = fixture () in
+  let o2 =
+    Database.create_object u.db u.student ~init:[ ("age", Value.Int 30) ]
+  in
+  let s1 = Occ.begin_session occ in
+  let s2 = Occ.begin_session occ in
+  Occ.write s1 o "age" (Value.Int 21);
+  Occ.write s2 o2 "age" (Value.Int 31);
+  Alcotest.(check bool) "s1 commits" true (Result.is_ok (Occ.commit s1));
+  Alcotest.(check bool) "s2 commits (disjoint)" true (Result.is_ok (Occ.commit s2))
+
+let test_direct_update_invalidates_reader () =
+  let u, occ, o = fixture () in
+  let s = Occ.begin_session occ in
+  ignore (Occ.read s o "age");
+  (* a non-session program writes directly *)
+  Database.set_attr u.db o "age" (Value.Int 99);
+  Occ.write s o "name" (Value.String "eve");
+  match Occ.commit s with
+  | Ok () -> Alcotest.fail "stale read must conflict"
+  | Error _ -> ()
+
+let test_read_only_session_never_conflicts_itself () =
+  let u, occ, o = fixture () in
+  ignore u;
+  let s = Occ.begin_session occ in
+  ignore (Occ.read s o "age");
+  ignore (Occ.read s o "name");
+  check Alcotest.int "one object in read set" 1 (Occ.reads s);
+  Alcotest.(check bool) "read-only commits" true (Result.is_ok (Occ.commit s))
+
+let test_abort_discards () =
+  let u, occ, o = fixture () in
+  let s = Occ.begin_session occ in
+  Occ.write s o "age" (Value.Int 77);
+  Occ.abort s;
+  check vpp "nothing applied" (Value.Int 20) (Database.get_prop u.db o "age");
+  try
+    ignore (Occ.read s o "age");
+    Alcotest.fail "finished session must not be reusable"
+  with Invalid_argument _ -> ()
+
+let test_write_skew_excluded () =
+  (* classic write skew: s1 reads x writes y, s2 reads y writes x; under
+     our scheme writes join the read set, so one of them must abort *)
+  let u, occ, _ = fixture () in
+  let x = Database.create_object u.db u.person ~init:[ ("age", Value.Int 1) ] in
+  let y = Database.create_object u.db u.person ~init:[ ("age", Value.Int 1) ] in
+  let s1 = Occ.begin_session occ in
+  let s2 = Occ.begin_session occ in
+  ignore (Occ.read s1 x "age");
+  Occ.write s1 y "age" (Value.Int 0);
+  ignore (Occ.read s2 y "age");
+  Occ.write s2 x "age" (Value.Int 0);
+  let r1 = Occ.commit s1 and r2 = Occ.commit s2 in
+  Alcotest.(check bool) "not both committed" false
+    (Result.is_ok r1 && Result.is_ok r2)
+
+let test_sessions_across_schema_change () =
+  (* a session reading through an old view is invalidated by a conflicting
+     write even when the writer goes through an evolved view *)
+  let u = Tse_workload.University.build () in
+  let occ = Occ.create u.db in
+  let tsem = Tse_core.Tsem.of_database u.db in
+  ignore (Tse_core.Tsem.define_view_by_names tsem ~name:"VS" [ "Person"; "Student" ]);
+  let o = Database.create_object u.db u.student ~init:[ ("age", Value.Int 20) ] in
+  let s = Occ.begin_session occ in
+  ignore (Occ.read s o "age");
+  ignore
+    (Tse_core.Tsem.evolve tsem ~view:"VS"
+       (Tse_core.Change.Add_attribute
+          { cls = "Student"; def = Tse_core.Change.attr "email" Value.TString }));
+  (* the new-view program updates the shared object *)
+  Database.set_attr u.db o "email" (Value.String "a@x");
+  Occ.write s o "age" (Value.Int 21);
+  match Occ.commit s with
+  | Ok () -> Alcotest.fail "expected conflict across the schema change"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "commit applies buffered writes" `Quick
+      test_commit_applies_writes;
+    Alcotest.test_case "first committer wins" `Quick test_first_committer_wins;
+    Alcotest.test_case "disjoint sessions both commit" `Quick
+      test_disjoint_sessions_both_commit;
+    Alcotest.test_case "direct update invalidates reader" `Quick
+      test_direct_update_invalidates_reader;
+    Alcotest.test_case "read-only session commits" `Quick
+      test_read_only_session_never_conflicts_itself;
+    Alcotest.test_case "abort discards" `Quick test_abort_discards;
+    Alcotest.test_case "write skew excluded" `Quick test_write_skew_excluded;
+    Alcotest.test_case "conflicts across schema evolution" `Quick
+      test_sessions_across_schema_change;
+  ]

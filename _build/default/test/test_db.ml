@@ -1,0 +1,255 @@
+(* Tests for the database kernel: object lifecycle, extents, property
+   access, derived membership. *)
+
+open Tse_store
+open Tse_schema
+open Tse_db
+
+let check = Alcotest.check
+let vpp = Alcotest.testable Value.pp Value.equal
+let uni () = Tse_workload.University.build ()
+
+let test_create_and_extents () =
+  let u = uni () in
+  let db = u.db in
+  let ta =
+    Database.create_object db u.ta
+      ~init:[ ("name", Value.String "kim"); ("hours", Value.Int 10) ]
+  in
+  (* a TA is in the extents of TA, Student, TeachingStaff, Staff, Person *)
+  List.iter
+    (fun (label, cid) ->
+      Alcotest.(check bool) label true (Oid.Set.mem ta (Database.extent db cid)))
+    [
+      ("in TA", u.ta);
+      ("in Student", u.student);
+      ("in TeachingStaff", u.teaching_staff);
+      ("in Staff", u.staff);
+      ("in Person", u.person);
+    ];
+  Alcotest.(check bool) "not in Grad" false
+    (Oid.Set.mem ta (Database.extent db u.grad));
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_property_access () =
+  let u = uni () in
+  let db = u.db in
+  let s =
+    Database.create_object db u.student
+      ~init:
+        [ ("name", Value.String "ann"); ("age", Value.Int 25);
+          ("gpa", Value.Float 3.9) ]
+  in
+  check vpp "inherited attr" (Value.String "ann") (Database.get_prop db s "name");
+  check vpp "local attr" (Value.Float 3.9) (Database.get_prop db s "gpa");
+  Database.set_attr db s "age" (Value.Int 26);
+  check vpp "updated" (Value.Int 26) (Database.get_prop db s "age");
+  Alcotest.check_raises "unknown prop" (Expr.Unknown_property "salary")
+    (fun () -> ignore (Database.get_prop db s "salary"));
+  (try
+     Database.set_attr db s "age" (Value.String "old");
+     Alcotest.fail "expected type error"
+   with Expr.Type_error _ -> ())
+
+let test_method_evaluation () =
+  let u = uni () in
+  let db = u.db in
+  (* add a derived method adult() = age >= 18 to Person *)
+  let kp = Schema_graph.find_exn (Database.graph db) u.person in
+  Klass.add_local_prop kp
+    (Prop.method_ ~origin:u.person "adult" Expr.(attr "age" >= int 18));
+  let p =
+    Database.create_object db u.person
+      ~init:[ ("name", Value.String "bo"); ("age", Value.Int 12) ]
+  in
+  check vpp "method false" (Value.Bool false) (Database.get_prop db p "adult");
+  Database.set_attr db p "age" (Value.Int 30);
+  check vpp "method true" (Value.Bool true) (Database.get_prop db p "adult");
+  (* methods are not settable *)
+  (try
+     Database.set_attr db p "adult" (Value.Bool true);
+     Alcotest.fail "expected type error"
+   with Expr.Type_error _ -> ())
+
+let test_base_membership_changes () =
+  let u = uni () in
+  let db = u.db in
+  let p = Database.create_object db u.person ~init:[ ("age", Value.Int 20) ] in
+  Alcotest.(check bool) "not student" false (Database.is_member db p u.student);
+  Database.add_base_membership db p u.student;
+  Alcotest.(check bool) "now student" true (Database.is_member db p u.student);
+  Alcotest.(check bool) "still person" true (Database.is_member db p u.person);
+  Database.set_attr db p "gpa" (Value.Float 3.0);
+  check vpp "student attr now usable" (Value.Float 3.0)
+    (Database.get_prop db p "gpa");
+  Database.remove_base_membership db p u.student;
+  Alcotest.(check bool) "student dropped" false (Database.is_member db p u.student);
+  Alcotest.(check bool) "person kept" true (Database.is_member db p u.person);
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_membership_closure_on_add () =
+  let u = uni () in
+  let db = u.db in
+  let p = Database.create_object db u.person ~init:[] in
+  (* adding to TA pulls in Student, TeachingStaff and Staff *)
+  Database.add_base_membership db p u.ta;
+  List.iter
+    (fun cid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "member of %s"
+           (Schema_graph.name_of (Database.graph db) cid))
+        true (Database.is_member db p cid))
+    [ u.ta; u.student; u.teaching_staff; u.staff; u.person ];
+  (* removing Student also removes TA (its descendant) but keeps Staff *)
+  Database.remove_base_membership db p u.student;
+  Alcotest.(check bool) "TA dropped" false (Database.is_member db p u.ta);
+  Alcotest.(check bool) "Staff kept" true (Database.is_member db p u.staff);
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_select_class_membership () =
+  let u = uni () in
+  let db = u.db in
+  let g = Database.graph db in
+  (* a virtual select class: Adult = select from Person where age >= 18,
+     linked under Person as the classifier would *)
+  let adult =
+    Schema_graph.register_virtual g ~name:"Adult"
+      (Klass.Select (u.person, Expr.(attr "age" >= int 18)))
+      []
+  in
+  Schema_graph.add_edge g ~sup:u.person ~sub:adult;
+  Database.note_new_class db adult;
+  let young = Database.create_object db u.person ~init:[ ("age", Value.Int 10) ] in
+  let old = Database.create_object db u.person ~init:[ ("age", Value.Int 40) ] in
+  Alcotest.(check bool) "young not adult" false (Database.is_member db young adult);
+  Alcotest.(check bool) "old adult" true (Database.is_member db old adult);
+  check Alcotest.int "extent size" 1 (Database.extent_size db adult);
+  (* updating the attribute reclassifies *)
+  Database.set_attr db young "age" (Value.Int 19);
+  Alcotest.(check bool) "young grew up" true (Database.is_member db young adult);
+  Database.set_attr db old "age" (Value.Int 5);
+  Alcotest.(check bool) "old un-classified" false (Database.is_member db old adult);
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_refine_class_membership () =
+  let u = uni () in
+  let db = u.db in
+  let g = Database.graph db in
+  (* capacity-augmenting refine: Student' = refine register for Student *)
+  let register = Prop.stored ~origin:(Oid.of_int 0) "register" Value.TBool in
+  let student' =
+    Schema_graph.register_virtual g ~name:"Student'"
+      (Klass.Refine ([ register ], u.student))
+      [ register ]
+  in
+  Schema_graph.add_edge g ~sup:u.student ~sub:student';
+  Database.note_new_class db student';
+  let s = Database.create_object db u.student ~init:[ ("age", Value.Int 20) ] in
+  (* every Student is automatically a member of the refine class *)
+  Alcotest.(check bool) "student in Student'" true
+    (Database.is_member db s student');
+  (* ... and can store the new attribute in its new slice *)
+  Database.set_attr db s "register" (Value.Bool true);
+  check vpp "register readable" (Value.Bool true)
+    (Database.get_prop db s "register");
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_set_ops_membership () =
+  let u = uni () in
+  let db = u.db in
+  let g = Database.graph db in
+  let mk name d =
+    let cid = Schema_graph.register_virtual g ~name d [] in
+    Database.note_new_class db cid;
+    cid
+  in
+  let union = mk "StudentsOrStaff" (Klass.Union (u.student, u.staff)) in
+  Schema_graph.add_edge g ~sup:u.person ~sub:union;
+  let inter = mk "StudentStaff" (Klass.Intersect (u.student, u.staff)) in
+  Schema_graph.add_edge g ~sup:u.student ~sub:inter;
+  Schema_graph.add_edge g ~sup:u.staff ~sub:inter;
+  let diff = mk "NonStaffStudent" (Klass.Difference (u.student, u.staff)) in
+  Schema_graph.add_edge g ~sup:u.student ~sub:diff;
+  let pure_student = Database.create_object db u.student ~init:[] in
+  let ta = Database.create_object db u.ta ~init:[] in
+  let staff_only = Database.create_object db u.support_staff ~init:[] in
+  let person = Database.create_object db u.person ~init:[] in
+  let mem o c = Database.is_member db o c in
+  Alcotest.(check bool) "student in union" true (mem pure_student union);
+  Alcotest.(check bool) "staff in union" true (mem staff_only union);
+  Alcotest.(check bool) "person not in union" false (mem person union);
+  Alcotest.(check bool) "ta in intersect" true (mem ta inter);
+  Alcotest.(check bool) "pure student not in intersect" false (mem pure_student inter);
+  Alcotest.(check bool) "pure student in difference" true (mem pure_student diff);
+  Alcotest.(check bool) "ta not in difference" false (mem ta diff);
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_derived_on_derived () =
+  let u = uni () in
+  let db = u.db in
+  let g = Database.graph db in
+  (* select on top of a capacity-augmenting refine: the predicate reads the
+     refined attribute, which only exists on the refine slice *)
+  let credits = Prop.stored ~origin:(Oid.of_int 0) "credits" Value.TInt ~default:(Value.Int 0) in
+  let student' =
+    Schema_graph.register_virtual g ~name:"Student'"
+      (Klass.Refine ([ credits ], u.student))
+      [ credits ]
+  in
+  Schema_graph.add_edge g ~sup:u.student ~sub:student';
+  Database.note_new_class db student';
+  let heavy =
+    Schema_graph.register_virtual g ~name:"HeavyLoad"
+      (Klass.Select (student', Expr.(attr "credits" >= int 12)))
+      []
+  in
+  Schema_graph.add_edge g ~sup:student' ~sub:heavy;
+  Database.note_new_class db heavy;
+  let s = Database.create_object db u.student ~init:[] in
+  Alcotest.(check bool) "default 0 credits: not heavy" false
+    (Database.is_member db s heavy);
+  Database.set_attr db s "credits" (Value.Int 15);
+  Alcotest.(check bool) "now heavy" true (Database.is_member db s heavy);
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_destroy_object () =
+  let u = uni () in
+  let db = u.db in
+  let s = Database.create_object db u.student ~init:[] in
+  Database.destroy_object db s;
+  Alcotest.(check bool) "gone" false (Database.mem_object db s);
+  check Alcotest.int "extent empty" 0 (Database.extent_size db u.student);
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_populate_consistency () =
+  let u = uni () in
+  let objs = Tse_workload.University.populate u ~n:60 in
+  check Alcotest.int "created 60" 60 (List.length objs);
+  check Alcotest.int "population count" 60 (Database.object_count u.db);
+  (* every sixth object lands in each class bucket *)
+  check Alcotest.int "persons include everyone" 60
+    (Database.extent_size u.db u.person);
+  check Alcotest.int "graders" 10 (Database.extent_size u.db u.grader);
+  Alcotest.(check (list string)) "consistent" [] (Database.check u.db)
+
+let suite =
+  [
+    Alcotest.test_case "create + extent closure" `Quick test_create_and_extents;
+    Alcotest.test_case "property access" `Quick test_property_access;
+    Alcotest.test_case "method evaluation" `Quick test_method_evaluation;
+    Alcotest.test_case "base membership add/remove" `Quick
+      test_base_membership_changes;
+    Alcotest.test_case "membership closure on add" `Quick
+      test_membership_closure_on_add;
+    Alcotest.test_case "select class membership tracks updates" `Quick
+      test_select_class_membership;
+    Alcotest.test_case "refine class gives new stored attribute" `Quick
+      test_refine_class_membership;
+    Alcotest.test_case "union/intersect/difference membership" `Quick
+      test_set_ops_membership;
+    Alcotest.test_case "select over refine (derived on derived)" `Quick
+      test_derived_on_derived;
+    Alcotest.test_case "destroy object" `Quick test_destroy_object;
+    Alcotest.test_case "populated university is consistent" `Quick
+      test_populate_consistency;
+  ]

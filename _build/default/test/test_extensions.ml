@@ -1,0 +1,151 @@
+(* Tests for the beyond-ORION extensions: partition/coalesce (the
+   object-preserving reading of the paper's Section 9 open problems) and
+   the impact analyzer. *)
+
+open Tse_store
+open Tse_schema
+open Tse_db
+open Tse_views
+open Tse_core
+
+let check = Alcotest.check
+
+let fixture () =
+  let u = Tse_workload.University.build () in
+  ignore (Tse_workload.University.populate u ~n:24);
+  (u, Tsem.of_database u.db)
+
+let test_partition_class () =
+  let u, tsem = fixture () in
+  ignore (Tsem.define_view_by_names tsem ~name:"VS" [ "Person"; "Student" ]);
+  let v1 =
+    Tsem.evolve tsem ~view:"VS"
+      (Change.Partition_class
+         {
+           cls = "Person";
+           predicate = Expr.(attr "age" >= int 30);
+           into_true = "Senior";
+           into_false = "Junior";
+         })
+  in
+  let senior = View_schema.cid_of_exn v1 "Senior" in
+  let junior = View_schema.cid_of_exn v1 "Junior" in
+  let person = View_schema.cid_of_exn v1 "Person" in
+  (* the partitions are disjoint and cover the class *)
+  Alcotest.(check bool) "disjoint" true
+    (Oid.Set.is_empty
+       (Oid.Set.inter (Database.extent u.db senior) (Database.extent u.db junior)));
+  check Alcotest.int "cover"
+    (Database.extent_size u.db person)
+    (Database.extent_size u.db senior + Database.extent_size u.db junior);
+  (* the view hierarchy places both under Person *)
+  let edges = Generation.edges (Database.graph u.db) v1 in
+  Alcotest.(check bool) "Senior under Person" true
+    (List.exists (fun (s, b) -> Oid.equal s person && Oid.equal b senior) edges);
+  (* object-preserving, hence updatable (the point of the extension) *)
+  Alcotest.(check bool) "updatable" true (Verify.all_updatable u.db v1);
+  (* updates keep partitions consistent: aging an object moves it across *)
+  let o = List.hd (Database.extent_list u.db junior) in
+  Database.set_attr u.db o "age" (Value.Int 64);
+  Alcotest.(check bool) "migrated to Senior" true
+    (Oid.Set.mem o (Database.extent u.db senior));
+  Alcotest.(check (list string)) "consistent" [] (Database.check u.db)
+
+let test_coalesce_classes () =
+  let u, tsem = fixture () in
+  ignore
+    (Tsem.define_view_by_names tsem ~name:"VS" [ "Person"; "Student"; "Staff" ]);
+  let v1 =
+    Tsem.evolve tsem ~view:"VS"
+      (Change.Coalesce_classes { a = "Student"; b = "Staff"; as_name = "Member" })
+  in
+  Alcotest.(check bool) "Student gone from view" true
+    (View_schema.cid_of v1 "Student" = None);
+  Alcotest.(check bool) "Staff gone from view" true
+    (View_schema.cid_of v1 "Staff" = None);
+  let fused = View_schema.cid_of_exn v1 "Member" in
+  check Alcotest.int "extent is the union"
+    (Oid.Set.cardinal
+       (Oid.Set.union (Database.extent u.db u.student) (Database.extent u.db u.staff)))
+    (Database.extent_size u.db fused);
+  (* globally nothing was destroyed *)
+  Alcotest.(check bool) "Student alive globally" true
+    (Schema_graph.mem (Database.graph u.db) u.student);
+  Alcotest.(check bool) "updatable" true (Verify.all_updatable u.db v1);
+  Alcotest.(check (list string)) "consistent" [] (Database.check u.db)
+
+let test_impact_analyzer () =
+  let u, tsem = fixture () in
+  ignore u;
+  ignore (Tsem.define_view_by_names tsem ~name:"MINE" [ "Person"; "Student"; "TA" ]);
+  ignore (Tsem.define_view_by_names tsem ~name:"OTHER" [ "Person"; "Student"; "Grad" ]);
+  ignore (Tsem.define_view_by_names tsem ~name:"STAFFONLY" [ "Staff"; "SupportStaff" ]);
+  (* adding an attribute to Student reaches OTHER (Student, Grad) but not
+     the staff-only view *)
+  let r =
+    Impact.analyze tsem ~view:"MINE"
+      (Change.Add_attribute { cls = "Student"; def = Change.attr "x" Value.TBool })
+  in
+  (match r.Impact.broken_views with
+  | [ ("OTHER", hit) ] ->
+    check Alcotest.(list string) "reached classes" [ "Grad"; "Student" ] hit
+  | other ->
+    Alcotest.failf "unexpected broken views: %s"
+      (String.concat "," (List.map fst other)));
+  (* edge change on the staff side reaches STAFFONLY *)
+  let r2 =
+    Impact.analyze tsem ~view:"MINE"
+      (Change.Add_edge { sup = "Person"; sub = "TA" })
+  in
+  ignore r2;
+  (* view-only change affects nobody *)
+  let r3 = Impact.analyze tsem ~view:"MINE" (Change.Delete_class { cls = "TA" }) in
+  Alcotest.(check bool) "delete_class affects nobody" true
+    (r3.Impact.broken_views = []);
+  (* and the TSE execution indeed leaves OTHER untouched, as predicted *)
+  let before = Verify.view_fingerprint (Tsem.db tsem) (Tsem.current tsem "OTHER") in
+  ignore
+    (Tsem.evolve tsem ~view:"MINE"
+       (Change.Add_attribute { cls = "Student"; def = Change.attr "x" Value.TBool }));
+  let after = Verify.view_fingerprint (Tsem.db tsem) (Tsem.current tsem "OTHER") in
+  Alcotest.(check bool) "TSE avoided the predicted breakage" true
+    (String.equal before after)
+
+let test_partition_validation () =
+  let u, tsem = fixture () in
+  ignore u;
+  ignore (Tsem.define_view_by_names tsem ~name:"VS" [ "Person"; "Student" ]);
+  (try
+     ignore
+       (Tsem.evolve tsem ~view:"VS"
+          (Change.Partition_class
+             {
+               cls = "Person";
+               predicate = Expr.(attr "nosuch" === int 1);
+               into_true = "A";
+               into_false = "B";
+             }));
+     Alcotest.fail "unknown attribute must reject"
+   with Change.Rejected _ -> ());
+  try
+    ignore
+      (Tsem.evolve tsem ~view:"VS"
+         (Change.Partition_class
+            {
+              cls = "Person";
+              predicate = Expr.(attr "age" >= int 1);
+              into_true = "Student";
+              into_false = "B";
+            }));
+    Alcotest.fail "name clash must reject"
+  with Change.Rejected _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "partition_class (Section 9 extension)" `Quick
+      test_partition_class;
+    Alcotest.test_case "coalesce_classes (Section 9 extension)" `Quick
+      test_coalesce_classes;
+    Alcotest.test_case "impact analyzer" `Quick test_impact_analyzer;
+    Alcotest.test_case "partition validation" `Quick test_partition_validation;
+  ]

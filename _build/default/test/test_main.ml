@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "tse"
+    [
+      ("store", Test_store.suite);
+      ("schema", Test_schema.suite);
+      ("objmodel", Test_objmodel.suite);
+      ("db", Test_db.suite);
+      ("algebra", Test_algebra.suite);
+      ("update", Test_update.suite);
+      ("views", Test_views.suite);
+      ("tse", Test_tse.suite);
+      ("baselines", Test_baselines.suite);
+      ("property", Test_property.suite);
+      ("catalog", Test_catalog.suite);
+      ("surface", Test_surface.suite);
+      ("integration", Test_integration.suite);
+      ("classifier", Test_classifier.suite);
+      ("extensions", Test_extensions.suite);
+      ("macros", Test_macros.suite);
+      ("query", Test_query.suite);
+      ("concurrency", Test_concurrency.suite);
+    ]

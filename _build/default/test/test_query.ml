@@ -1,0 +1,151 @@
+(* Tests for maintained indexes and the query engine. *)
+
+open Tse_store
+open Tse_schema
+open Tse_db
+open Tse_query
+
+let check = Alcotest.check
+let uni () = Tse_workload.University.build ()
+
+let fixture () =
+  let u = uni () in
+  let idx = Indexes.create u.db in
+  ignore (Tse_workload.University.populate u ~n:30);
+  (u, idx)
+
+let test_index_build_and_lookup () =
+  let u, idx = fixture () in
+  Indexes.ensure idx u.person "age";
+  Alcotest.(check bool) "indexed" true (Indexes.indexed idx u.person "age");
+  let some_age =
+    match Database.get_prop u.db (List.hd (Database.extent_list u.db u.person)) "age" with
+    | v -> v
+  in
+  let hits = Option.get (Indexes.lookup idx u.person "age" some_age) in
+  Alcotest.(check bool) "non-empty lookup" true (not (Oid.Set.is_empty hits));
+  (* all hits genuinely carry the value *)
+  Oid.Set.iter
+    (fun o ->
+      Alcotest.(check bool) "hit has value" true
+        (Value.equal (Database.get_prop u.db o "age") some_age))
+    hits;
+  Alcotest.(check bool) "overhead accounted" true (Indexes.overhead_bytes idx > 0)
+
+let test_index_maintenance () =
+  let u, idx = fixture () in
+  Indexes.ensure idx u.person "age";
+  let o = Database.create_object u.db u.person ~init:[ ("age", Value.Int 999) ] in
+  (* creation indexed *)
+  check Alcotest.int "new object indexed" 1
+    (Oid.Set.cardinal (Option.get (Indexes.lookup idx u.person "age" (Value.Int 999))));
+  (* update moves the entry *)
+  Database.set_attr u.db o "age" (Value.Int 998);
+  check Alcotest.int "old key empty" 0
+    (Oid.Set.cardinal (Option.get (Indexes.lookup idx u.person "age" (Value.Int 999))));
+  check Alcotest.int "new key hit" 1
+    (Oid.Set.cardinal (Option.get (Indexes.lookup idx u.person "age" (Value.Int 998))));
+  (* destruction unindexes *)
+  Database.destroy_object u.db o;
+  check Alcotest.int "destroyed unindexed" 0
+    (Oid.Set.cardinal (Option.get (Indexes.lookup idx u.person "age" (Value.Int 998))))
+
+let test_index_on_virtual_class () =
+  (* indexes work on select classes too: membership changes maintain them *)
+  let u, idx = fixture () in
+  let adult =
+    Tse_algebra.Ops.select u.db ~name:"Adult" ~src:u.person
+      Expr.(attr "age" >= int 18)
+  in
+  Indexes.ensure idx adult "age";
+  let o = Database.create_object u.db u.person ~init:[ ("age", Value.Int 50) ] in
+  check Alcotest.int "adult indexed" 1
+    (Oid.Set.cardinal (Option.get (Indexes.lookup idx adult "age" (Value.Int 50))));
+  (* leaving the class unindexes, without destroying the object *)
+  Database.set_attr u.db o "age" (Value.Int 10);
+  check Alcotest.int "left the class" 0
+    (Oid.Set.cardinal (Option.get (Indexes.lookup idx adult "age" (Value.Int 10))))
+
+let test_engine_plans () =
+  let u, idx = fixture () in
+  Indexes.ensure idx u.person "age";
+  let p1 = Engine.plan u.db idx u.person Expr.(attr "age" === int 30) in
+  (match p1 with
+  | Engine.Index_lookup { attr = "age"; residual = false } -> ()
+  | _ -> Alcotest.fail "expected pure index lookup");
+  let p2 =
+    Engine.plan u.db idx u.person
+      Expr.(attr "age" === int 30 && (attr "name" <> str "x"))
+  in
+  (match p2 with
+  | Engine.Index_lookup { attr = "age"; residual = true } -> ()
+  | _ -> Alcotest.fail "expected index + residual");
+  let p3 = Engine.plan u.db idx u.person Expr.(attr "age" >= int 30) in
+  (match p3 with
+  | Engine.Extent_scan -> ()
+  | _ -> Alcotest.fail "ranges scan");
+  let p4 = Engine.plan u.db idx u.person Expr.(attr "name" === str "x") in
+  match p4 with
+  | Engine.Extent_scan -> ()
+  | _ -> Alcotest.fail "unindexed attr scans"
+
+let test_engine_results_agree () =
+  let u, idx = fixture () in
+  Indexes.ensure idx u.person "age";
+  let preds =
+    Expr.
+      [
+        attr "age" === int 30;
+        attr "age" === int 30 && (attr "ssn" > int 10010);
+        attr "age" >= int 40;
+        bool false;
+      ]
+  in
+  List.iter
+    (fun pred ->
+      let indexed = Engine.select u.db idx u.person pred in
+      (* ground truth: a plain scan *)
+      let scanned =
+        Oid.Set.filter (fun o -> Database.holds u.db o pred)
+          (Database.extent u.db u.person)
+      in
+      Alcotest.(check bool)
+        (Format.asprintf "results agree for %a" Expr.pp pred)
+        true
+        (Oid.Set.equal indexed scanned))
+    preds
+
+let test_engine_after_evolution () =
+  (* the engine keeps working on the primed classes a schema change makes *)
+  let u, idx = fixture () in
+  let tsem = Tse_core.Tsem.of_database u.db in
+  ignore (Tse_core.Tsem.define_view_by_names tsem ~name:"VS" [ "Person"; "Student" ]);
+  let v1 =
+    Tse_core.Tsem.evolve tsem ~view:"VS"
+      (Tse_core.Change.Add_attribute
+         { cls = "Student"; def = Tse_core.Change.attr "credits" Value.TInt })
+  in
+  let student' = Tse_views.View_schema.cid_of_exn v1 "Student" in
+  Indexes.ensure idx student' "credits";
+  let o =
+    Tse_update.Generic.create u.db student'
+      ~init:[ ("credits", Value.Int 12); ("age", Value.Int 20) ]
+  in
+  let hits = Engine.select u.db idx student' Expr.(attr "credits" === int 12) in
+  Alcotest.(check bool) "indexed select on evolved class" true
+    (Oid.Set.mem o hits);
+  Alcotest.(check (list string)) "consistent" [] (Database.check u.db)
+
+let suite =
+  [
+    Alcotest.test_case "index build + lookup" `Quick test_index_build_and_lookup;
+    Alcotest.test_case "index maintenance on events" `Quick
+      test_index_maintenance;
+    Alcotest.test_case "index on a virtual class" `Quick
+      test_index_on_virtual_class;
+    Alcotest.test_case "planner decisions" `Quick test_engine_plans;
+    Alcotest.test_case "indexed results == scan results" `Quick
+      test_engine_results_agree;
+    Alcotest.test_case "engine across schema evolution" `Quick
+      test_engine_after_evolution;
+  ]

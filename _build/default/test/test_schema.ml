@@ -1,0 +1,332 @@
+(* Tests for the schema layer: expressions, properties, the is-a DAG and
+   full-type computation with the paper's conflict rules. *)
+
+open Tse_store
+open Tse_schema
+
+let check = Alcotest.check
+let vpp = Alcotest.testable Value.pp Value.equal
+
+(* A tiny standalone graph for structural tests. *)
+let graph () = Schema_graph.create ~gen:(Oid.Gen.create ())
+
+let stored = Prop.stored ~origin:(Oid.of_int 0)
+
+let test_expr_eval () =
+  let slots = [ ("age", Value.Int 30); ("name", Value.String "ann") ] in
+  let env =
+    {
+      Expr.self = Oid.of_int 1;
+      get =
+        (fun n ->
+          match List.assoc_opt n slots with
+          | Some v -> v
+          | None -> raise (Expr.Unknown_property n));
+      member_of = (fun c -> c = "Person");
+    }
+  in
+  let open Expr in
+  check vpp "arith" (Value.Int 35) (eval env (Arith (Add, attr "age", int 5)));
+  check vpp "cmp" (Value.Bool true) (eval env (attr "age" >= int 18));
+  check vpp "and/or" (Value.Bool true)
+    (eval env ((attr "age" > int 40) || (attr "name" === str "ann")));
+  check vpp "in_class" (Value.Bool true) (eval env (In_class "Person"));
+  check vpp "in_class neg" (Value.Bool false) (eval env (In_class "Robot"));
+  check vpp "if" (Value.String "adult")
+    (eval env (If (attr "age" >= int 18, str "adult", str "minor")));
+  check vpp "self" (Value.Ref (Oid.of_int 1)) (eval env Self);
+  check vpp "is_null" (Value.Bool false) (eval env (Is_null (attr "age")));
+  Alcotest.check_raises "unknown property" (Expr.Unknown_property "zz")
+    (fun () -> ignore (eval env (attr "zz")));
+  (try
+     ignore (eval env (Arith (Add, attr "name", int 1)));
+     Alcotest.fail "expected type error"
+   with Expr.Type_error _ -> ());
+  (try
+     ignore (eval env (Arith (Div, int 1, int 0)));
+     Alcotest.fail "expected division by zero"
+   with Expr.Type_error _ -> ())
+
+let test_expr_null_semantics () =
+  let env =
+    { Expr.self = Oid.of_int 1;
+      get = (fun _ -> Value.Null);
+      member_of = (fun _ -> false) }
+  in
+  let open Expr in
+  check vpp "null = null" (Value.Bool true) (eval env (attr "x" === Const Value.Null));
+  check vpp "null <> 1" (Value.Bool true) (eval env (attr "x" <> int 1));
+  Alcotest.(check bool) "null predicate is false" false
+    (eval_bool env (attr "x"));
+  (try
+     ignore (eval env (attr "x" < int 1));
+     Alcotest.fail "expected type error on ordering null"
+   with Expr.Type_error _ -> ())
+
+let test_expr_utils () =
+  let open Expr in
+  let e = (attr "a" > int 1) && In_class "C" && Is_null (attr "b") in
+  check Alcotest.(list string) "free attrs" [ "a"; "b" ] (free_attrs e);
+  check Alcotest.(list string) "classes" [ "C" ] (referenced_classes e);
+  Alcotest.(check bool) "equal reflexive" true (equal e e);
+  Alcotest.(check bool) "not equal" false (equal e (attr "a" > int 2));
+  let renamed = rename_attr ~old_name:"a" ~new_name:"z" e in
+  check Alcotest.(list string) "renamed" [ "b"; "z" ] (free_attrs renamed)
+
+let test_prop_identity () =
+  let p = stored "age" Value.TInt in
+  let q = Prop.rename p "years" in
+  Alcotest.(check bool) "rename keeps identity" true (Prop.same_prop p q);
+  let r = Prop.with_fresh_uid p in
+  Alcotest.(check bool) "fresh uid distinct" false (Prop.same_prop p r);
+  Alcotest.(check bool) "signature equal despite uid" true
+    (Prop.signature_equal p r);
+  Alcotest.(check bool) "renamed not signature equal" false
+    (Prop.signature_equal p q)
+
+let test_graph_edges () =
+  let g = graph () in
+  let a = Schema_graph.register_base g ~name:"A" ~props:[] ~supers:[] in
+  let b = Schema_graph.register_base g ~name:"B" ~props:[] ~supers:[ a ] in
+  let c = Schema_graph.register_base g ~name:"C" ~props:[] ~supers:[ b ] in
+  Alcotest.(check bool) "A ancestor of C" true
+    (Schema_graph.is_strict_ancestor g ~anc:a ~desc:c);
+  Alcotest.(check bool) "C not ancestor of A" false
+    (Schema_graph.is_strict_ancestor g ~anc:c ~desc:a);
+  check Alcotest.int "descendants of A" 2
+    (Oid.Set.cardinal (Schema_graph.descendants g a));
+  (* cycle rejection *)
+  (try
+     Schema_graph.add_edge g ~sup:c ~sub:a;
+     Alcotest.fail "expected cycle rejection"
+   with Invalid_argument _ -> ());
+  (* root handling: removing B's only parent edge reattaches to root *)
+  Schema_graph.remove_edge g ~sup:a ~sub:b;
+  check Alcotest.(list string)
+    "B reattached to root"
+    [ "Object" ]
+    (List.map (Schema_graph.name_of g) (Schema_graph.supers g b));
+  (* adding a real superclass drops the root edge *)
+  Schema_graph.add_edge g ~sup:a ~sub:b;
+  check Alcotest.(list string) "root edge dropped" [ "A" ]
+    (List.map (Schema_graph.name_of g) (Schema_graph.supers g b));
+  Alcotest.(check (list string)) "invariants hold" [] (Invariants.check g)
+
+let test_graph_remove_class () =
+  let g = graph () in
+  let a = Schema_graph.register_base g ~name:"A" ~props:[] ~supers:[] in
+  let b = Schema_graph.register_base g ~name:"B" ~props:[] ~supers:[ a ] in
+  let c = Schema_graph.register_base g ~name:"C" ~props:[] ~supers:[ b ] in
+  Schema_graph.remove g b;
+  Alcotest.(check bool) "B gone" false (Schema_graph.mem g b);
+  (* C must not be left disconnected *)
+  check Alcotest.(list string) "C reattached to root" [ "Object" ]
+    (List.map (Schema_graph.name_of g) (Schema_graph.supers g c));
+  Alcotest.(check (list string)) "invariants hold" [] (Invariants.check g)
+
+let test_graph_topo_and_paths () =
+  let g = graph () in
+  let a = Schema_graph.register_base g ~name:"A" ~props:[] ~supers:[] in
+  let b = Schema_graph.register_base g ~name:"B" ~props:[] ~supers:[ a ] in
+  let c = Schema_graph.register_base g ~name:"C" ~props:[] ~supers:[ a ] in
+  let d = Schema_graph.register_base g ~name:"D" ~props:[] ~supers:[ b; c ] in
+  let order = Schema_graph.topo_order g in
+  let pos x = Option.get (List.find_index (Oid.equal x) order) in
+  Alcotest.(check bool) "a before b" true (pos a < pos b);
+  Alcotest.(check bool) "b before d" true (pos b < pos d);
+  Alcotest.(check bool) "c before d" true (pos c < pos d);
+  let paths = Schema_graph.paths_down g ~src:a ~dst:d in
+  check Alcotest.int "two diamond paths" 2 (List.length paths);
+  List.iter
+    (fun p -> check Alcotest.int "path length" 3 (List.length p))
+    paths;
+  Alcotest.(check bool) "redundant edge detection" false
+    (Schema_graph.is_redundant_edge g ~sup:a ~sub:b);
+  Schema_graph.add_edge g ~sup:a ~sub:d;
+  Alcotest.(check bool) "a->d redundant" true
+    (Schema_graph.is_redundant_edge g ~sup:a ~sub:d)
+
+let test_graph_copy_isolation () =
+  let g = graph () in
+  let a = Schema_graph.register_base g ~name:"A" ~props:[] ~supers:[] in
+  let g' = Schema_graph.copy g in
+  let _b = Schema_graph.register_base g' ~name:"B" ~props:[] ~supers:[ a ] in
+  (Schema_graph.find_exn g' a).Klass.name <- "Renamed";
+  check Alcotest.string "original untouched" "A" (Schema_graph.name_of g a);
+  check Alcotest.int "original size" 2 (Schema_graph.size g);
+  check Alcotest.int "copy size" 3 (Schema_graph.size g')
+
+let test_inheritance_basic () =
+  let g = graph () in
+  let a =
+    Schema_graph.register_base g ~name:"A"
+      ~props:[ stored "x" Value.TInt ]
+      ~supers:[]
+  in
+  let b =
+    Schema_graph.register_base g ~name:"B"
+      ~props:[ stored "y" Value.TInt ]
+      ~supers:[ a ]
+  in
+  check Alcotest.(list string) "full inheritance" [ "x"; "y" ]
+    (Type_info.prop_names g b);
+  Alcotest.(check bool) "subtype" true (Type_info.subtype_of g ~sub:b ~sup:a);
+  Alcotest.(check bool) "not supertype" false
+    (Type_info.subtype_of g ~sub:a ~sup:b)
+
+let test_inheritance_override () =
+  let g = graph () in
+  let a =
+    Schema_graph.register_base g ~name:"A"
+      ~props:[ stored "x" Value.TInt ]
+      ~supers:[]
+  in
+  let b =
+    Schema_graph.register_base g ~name:"B"
+      ~props:[ stored "x" Value.TString ]
+      ~supers:[ a ]
+  in
+  let c = Schema_graph.register_base g ~name:"C" ~props:[] ~supers:[ b ] in
+  (* local override wins and propagates to subclasses *)
+  (match Type_info.find_usable g b "x" with
+  | Some p -> Alcotest.(check bool) "B sees own x" true (p.Prop.origin = b)
+  | None -> Alcotest.fail "x unresolved at B");
+  (match Type_info.find_usable g c "x" with
+  | Some p -> Alcotest.(check bool) "C inherits B's x" true (p.Prop.origin = b)
+  | None -> Alcotest.fail "x unresolved at C");
+  (* the suppressed candidate from A is still discoverable *)
+  let cands = Type_info.inherited_candidates g b "x" in
+  check Alcotest.int "suppressed candidate" 1 (List.length cands);
+  (match cands with
+  | [ p ] -> Alcotest.(check bool) "candidate from A" true (p.Prop.origin = a)
+  | _ -> Alcotest.fail "expected one candidate")
+
+let test_inheritance_diamond_no_conflict () =
+  let g = graph () in
+  let a =
+    Schema_graph.register_base g ~name:"A"
+      ~props:[ stored "x" Value.TInt ]
+      ~supers:[]
+  in
+  let b = Schema_graph.register_base g ~name:"B" ~props:[] ~supers:[ a ] in
+  let c = Schema_graph.register_base g ~name:"C" ~props:[] ~supers:[ a ] in
+  let d = Schema_graph.register_base g ~name:"D" ~props:[] ~supers:[ b; c ] in
+  (* one property along two paths is not a conflict *)
+  match Type_info.find g d "x" with
+  | Some (Type_info.Single _) -> ()
+  | Some (Type_info.Conflict _) -> Alcotest.fail "diamond must not conflict"
+  | None -> Alcotest.fail "x lost in diamond"
+
+let test_inheritance_real_conflict () =
+  let g = graph () in
+  let a =
+    Schema_graph.register_base g ~name:"A"
+      ~props:[ stored "x" Value.TInt ]
+      ~supers:[]
+  in
+  let b =
+    Schema_graph.register_base g ~name:"B"
+      ~props:[ stored "x" Value.TString ]
+      ~supers:[]
+  in
+  let c = Schema_graph.register_base g ~name:"C" ~props:[] ~supers:[ a; b ] in
+  (match Type_info.find g c "x" with
+  | Some (Type_info.Conflict ps) ->
+    check Alcotest.int "two candidates" 2 (List.length ps)
+  | Some (Type_info.Single _) -> Alcotest.fail "expected conflict"
+  | None -> Alcotest.fail "x missing");
+  Alcotest.(check bool) "not usable while ambiguous" true
+    (Type_info.find_usable g c "x" = None);
+  (* user disambiguates by renaming one candidate at its origin *)
+  let ka = Schema_graph.find_exn g a in
+  let px = Option.get (Klass.local_prop ka "x") in
+  Klass.replace_local_prop ka (Prop.rename px "ax");
+  Klass.remove_local_prop ka "x";
+  (match Type_info.find g c "x" with
+  | Some (Type_info.Single p) ->
+    Alcotest.(check bool) "B's survives" true (p.Prop.origin = b)
+  | _ -> Alcotest.fail "conflict should be resolved");
+  match Type_info.find g c "ax" with
+  | Some (Type_info.Single _) -> ()
+  | _ -> Alcotest.fail "renamed candidate visible"
+
+let test_promoted_priority () =
+  let g = graph () in
+  (* Simulates the Section 6.2.3 situation: a promoted definition takes
+     priority over another inherited same-named property. *)
+  let a =
+    Schema_graph.register_base g ~name:"A"
+      ~props:[ stored "x" Value.TInt ]
+      ~supers:[]
+  in
+  ignore a;
+  let promoted = Prop.promote (stored "x" Value.TString) in
+  let b =
+    Schema_graph.register_base g ~name:"B" ~props:[ promoted ] ~supers:[]
+  in
+  let c = Schema_graph.register_base g ~name:"C" ~props:[] ~supers:[ a; b ] in
+  match Type_info.find g c "x" with
+  | Some (Type_info.Single p) ->
+    Alcotest.(check bool) "promoted wins" true (p.Prop.origin = b)
+  | _ -> Alcotest.fail "promoted property should resolve the conflict"
+
+let test_uppermost_in_view () =
+  let g = graph () in
+  let a =
+    Schema_graph.register_base g ~name:"A"
+      ~props:[ stored "x" Value.TInt ]
+      ~supers:[]
+  in
+  let b = Schema_graph.register_base g ~name:"B" ~props:[] ~supers:[ a ] in
+  let c = Schema_graph.register_base g ~name:"C" ~props:[] ~supers:[ b ] in
+  let view_all = Oid.Set.of_list [ a; b; c ] in
+  let view_bc = Oid.Set.of_list [ b; c ] in
+  Alcotest.(check bool) "A uppermost in full view" true
+    (Type_info.is_uppermost_in g ~view:view_all a "x");
+  Alcotest.(check bool) "B not uppermost in full view" false
+    (Type_info.is_uppermost_in g ~view:view_all b "x");
+  (* paper: local is view-relative — B is uppermost when A is outside *)
+  Alcotest.(check bool) "B uppermost when A hidden" true
+    (Type_info.is_uppermost_in g ~view:view_bc b "x")
+
+let test_type_signature_stability () =
+  let g = graph () in
+  let a =
+    Schema_graph.register_base g ~name:"A"
+      ~props:[ stored "x" Value.TInt; Prop.method_ ~origin:(Oid.of_int 0) "m" (Expr.int 1) ]
+      ~supers:[]
+  in
+  let b = Schema_graph.register_base g ~name:"B" ~props:[] ~supers:[ a ] in
+  Alcotest.(check bool) "same type A B (B adds nothing)" true
+    (Type_info.type_equal g a b);
+  let c =
+    Schema_graph.register_base g ~name:"Cc"
+      ~props:[ stored "y" Value.TInt ]
+      ~supers:[ a ]
+  in
+  Alcotest.(check bool) "C differs" false (Type_info.type_equal g a c)
+
+let suite =
+  [
+    Alcotest.test_case "expr evaluation" `Quick test_expr_eval;
+    Alcotest.test_case "expr null semantics" `Quick test_expr_null_semantics;
+    Alcotest.test_case "expr utilities" `Quick test_expr_utils;
+    Alcotest.test_case "property identity" `Quick test_prop_identity;
+    Alcotest.test_case "graph edges / cycles / root" `Quick test_graph_edges;
+    Alcotest.test_case "graph class removal" `Quick test_graph_remove_class;
+    Alcotest.test_case "graph topo order and paths" `Quick
+      test_graph_topo_and_paths;
+    Alcotest.test_case "graph copy isolation" `Quick test_graph_copy_isolation;
+    Alcotest.test_case "full inheritance" `Quick test_inheritance_basic;
+    Alcotest.test_case "override blocks propagation" `Quick
+      test_inheritance_override;
+    Alcotest.test_case "diamond is not a conflict" `Quick
+      test_inheritance_diamond_no_conflict;
+    Alcotest.test_case "real conflict needs renaming" `Quick
+      test_inheritance_real_conflict;
+    Alcotest.test_case "promoted definition has priority" `Quick
+      test_promoted_priority;
+    Alcotest.test_case "uppermost-in-view (view-relative local)" `Quick
+      test_uppermost_in_view;
+    Alcotest.test_case "type signatures" `Quick test_type_signature_stability;
+  ]

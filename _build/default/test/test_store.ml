@@ -1,0 +1,236 @@
+(* Tests for the storage substrate: OIDs, values, heap, txn, index,
+   snapshots. *)
+
+open Tse_store
+
+let check = Alcotest.check
+let vpp = Alcotest.testable Value.pp Value.equal
+
+let test_oid_gen () =
+  let g = Oid.Gen.create () in
+  let a = Oid.Gen.fresh g and b = Oid.Gen.fresh g in
+  Alcotest.(check bool) "fresh oids differ" false (Oid.equal a b);
+  check Alcotest.int "count" 2 (Oid.Gen.count g);
+  Oid.Gen.mark_used g (Oid.of_int 100);
+  let c = Oid.Gen.fresh g in
+  Alcotest.(check bool) "fresh after mark_used skips" true (Oid.to_int c > 100)
+
+let test_value_conforms () =
+  let open Value in
+  Alcotest.(check bool) "int conforms" true (conforms (Int 3) TInt);
+  Alcotest.(check bool) "int conforms float" true (conforms (Int 3) TFloat);
+  Alcotest.(check bool) "string not int" false (conforms (String "x") TInt);
+  Alcotest.(check bool) "null conforms anything" true (conforms Null TString);
+  Alcotest.(check bool) "list of ints" true
+    (conforms (List [ Int 1; Int 2 ]) (TList TInt));
+  Alcotest.(check bool) "mixed list fails" false
+    (conforms (List [ Int 1; String "a" ]) (TList TInt));
+  Alcotest.(check bool) "anything conforms TAny" true (conforms (Bool true) TAny)
+
+let test_value_codec () =
+  let roundtrip v =
+    let buf = Buffer.create 16 in
+    Value.encode buf v;
+    let v', pos = Value.decode (Buffer.contents buf) 0 in
+    check Alcotest.int "consumed all" (Buffer.length buf) pos;
+    check vpp "roundtrip" v v'
+  in
+  List.iter roundtrip
+    [
+      Value.Null;
+      Value.Bool true;
+      Value.Bool false;
+      Value.Int (-42);
+      Value.Float 3.25;
+      Value.String "hello world; with: delimiters\nand newline";
+      Value.Ref (Oid.of_int 7);
+      Value.List [ Value.Int 1; Value.String "x"; Value.List [ Value.Null ] ];
+    ]
+
+let test_value_ty_codec () =
+  let roundtrip ty =
+    let buf = Buffer.create 16 in
+    Value.encode_ty buf ty;
+    let ty', _ = Value.decode_ty (Buffer.contents buf) 0 in
+    Alcotest.(check bool) "ty roundtrip" true (Value.ty_equal ty ty')
+  in
+  List.iter roundtrip
+    Value.[ TAny; TBool; TInt; TFloat; TString; TRef "Person"; TList (TList TInt) ]
+
+let test_heap_basics () =
+  let h = Heap.create () in
+  let o = Heap.alloc h ~tag:"Person" in
+  Alcotest.(check bool) "allocated" true (Heap.mem h o);
+  check Alcotest.string "tag" "Person" (Heap.tag_of h o);
+  check vpp "missing slot is null" Value.Null (Heap.get_slot h o "age");
+  Heap.set_slot h o "age" (Value.Int 30);
+  check vpp "read back" (Value.Int 30) (Heap.get_slot h o "age");
+  Heap.remove_slot h o "age";
+  check vpp "removed" Value.Null (Heap.get_slot h o "age");
+  Heap.free h o;
+  Alcotest.(check bool) "freed" false (Heap.mem h o)
+
+let test_heap_swap_identity () =
+  let h = Heap.create () in
+  let a = Heap.alloc_with h ~tag:"A" [ ("x", Value.Int 1) ] in
+  let b = Heap.alloc_with h ~tag:"B" [ ("x", Value.Int 2); ("y", Value.Int 3) ] in
+  Heap.swap_identity h a b;
+  check Alcotest.string "a has b's tag" "B" (Heap.tag_of h a);
+  check vpp "a has b's x" (Value.Int 2) (Heap.get_slot h a "x");
+  check vpp "a has b's y" (Value.Int 3) (Heap.get_slot h a "y");
+  check Alcotest.string "b has a's tag" "A" (Heap.tag_of h b);
+  check vpp "b has a's x" (Value.Int 1) (Heap.get_slot h b "x");
+  check vpp "b lost y" Value.Null (Heap.get_slot h b "y")
+
+let test_txn_abort () =
+  let h = Heap.create () in
+  let keep = Heap.alloc_with h ~tag:"K" [ ("v", Value.Int 1) ] in
+  let result =
+    Txn.with_txn h (fun () ->
+        let o = Heap.alloc h ~tag:"T" in
+        Heap.set_slot h o "v" (Value.Int 9);
+        Heap.set_slot h keep "v" (Value.Int 2);
+        Heap.free h keep;
+        raise Txn.Abort)
+  in
+  Alcotest.(check bool) "aborted" true (result = None);
+  Alcotest.(check bool) "keep restored" true (Heap.mem h keep);
+  check vpp "keep value restored" (Value.Int 1) (Heap.get_slot h keep "v");
+  check Alcotest.int "no leaked cells" 1 (Heap.cell_count h);
+  check Alcotest.int "journals closed" 0 (Heap.journal_depth h)
+
+let test_txn_commit_and_nesting () =
+  let h = Heap.create () in
+  let o = Heap.alloc_with h ~tag:"O" [ ("v", Value.Int 0) ] in
+  let r =
+    Txn.with_txn h (fun () ->
+        Heap.set_slot h o "v" (Value.Int 1);
+        (* inner committed txn must still be undone by outer abort *)
+        ignore (Txn.with_txn h (fun () -> Heap.set_slot h o "v" (Value.Int 2)));
+        raise Txn.Abort)
+  in
+  Alcotest.(check bool) "outer aborted" true (r = None);
+  check vpp "inner commit undone by outer abort" (Value.Int 0)
+    (Heap.get_slot h o "v");
+  ignore (Txn.with_txn h (fun () -> Heap.set_slot h o "v" (Value.Int 5)));
+  check vpp "commit sticks" (Value.Int 5) (Heap.get_slot h o "v")
+
+let test_index () =
+  let idx = Index.create () in
+  let o1 = Oid.of_int 1 and o2 = Oid.of_int 2 in
+  Index.add idx (Value.Int 30) o1;
+  Index.add idx (Value.Int 30) o2;
+  Index.add idx (Value.Int 40) o1;
+  Index.add idx (Value.Int 30) o1 (* duplicate, ignored *);
+  check Alcotest.int "cardinal" 3 (Index.cardinal idx);
+  check Alcotest.int "keys" 2 (Index.distinct_keys idx);
+  check Alcotest.int "lookup 30" 2
+    (Oid.Set.cardinal (Index.lookup idx (Value.Int 30)));
+  Index.remove idx (Value.Int 30) o1;
+  check Alcotest.int "lookup 30 after remove" 1
+    (Oid.Set.cardinal (Index.lookup idx (Value.Int 30)));
+  check Alcotest.int "lookup missing" 0
+    (Oid.Set.cardinal (Index.lookup idx (Value.Int 99)))
+
+let test_snapshot_roundtrip () =
+  let h = Heap.create () in
+  let o1 =
+    Heap.alloc_with h ~tag:"Person"
+      [ ("name", Value.String "ann with spaces"); ("age", Value.Int 30) ]
+  in
+  let _o2 =
+    Heap.alloc_with h ~tag:"weird tag"
+      [ ("friend", Value.Ref o1); ("xs", Value.List [ Value.Int 1; Value.Null ]) ]
+  in
+  let s = Snapshot.to_string h in
+  let h' = Snapshot.of_string s in
+  Alcotest.(check bool) "roundtrip equal" true (Snapshot.roundtrip_equal h h');
+  (* a fresh alloc in the loaded heap must not collide *)
+  let o3 = Heap.alloc h' ~tag:"New" in
+  Alcotest.(check bool) "no oid collision" true (Oid.to_int o3 > Oid.to_int o1)
+
+let test_snapshot_file () =
+  let h = Heap.create () in
+  ignore (Heap.alloc_with h ~tag:"T" [ ("x", Value.Int 1) ]);
+  let path = Filename.temp_file "tse_snap" ".db" in
+  Snapshot.save h path;
+  let h' = Snapshot.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (Snapshot.roundtrip_equal h h')
+
+let test_snapshot_malformed () =
+  Alcotest.check_raises "missing end" (Failure "Snapshot: missing end marker")
+    (fun () -> ignore (Snapshot.of_string "TSE-HEAP 1\ngen 3\n"))
+
+let test_stats () =
+  let s = Stats.create () in
+  s.Stats.oids_allocated <- 10;
+  s.Stats.pointers <- 4;
+  s.Stats.objects_created <- 5;
+  check Alcotest.int "managerial bytes" ((10 * 8) + (4 * 8))
+    (Stats.managerial_bytes s);
+  check (Alcotest.float 0.001) "oids per object" 2.0 (Stats.oids_per_object s);
+  Stats.reset s;
+  check Alcotest.int "reset" 0 (Stats.managerial_bytes s)
+
+(* Property tests *)
+
+let value_gen =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         let base =
+           oneof
+             [
+               return Value.Null;
+               map (fun b -> Value.Bool b) bool;
+               map (fun i -> Value.Int i) int;
+               map (fun s -> Value.String s) string_printable;
+               map (fun i -> Value.Ref (Oid.of_int (abs i + 1))) small_int;
+             ]
+         in
+         if n <= 0 then base
+         else
+           frequency
+             [
+               (3, base);
+               ( 1,
+                 map
+                   (fun vs -> Value.List vs)
+                   (list_size (int_bound 4) (self (n / 2))) );
+             ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"value codec roundtrips (qcheck)" ~count:500 value_arb
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Value.encode buf v;
+      let v', _ = Value.decode (Buffer.contents buf) 0 in
+      Value.equal v v')
+
+let prop_value_compare_total =
+  QCheck.Test.make ~name:"value compare consistent with equal" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      Value.equal a b = (Value.compare a b = 0))
+
+let suite =
+  [
+    Alcotest.test_case "oid generator" `Quick test_oid_gen;
+    Alcotest.test_case "value conformance" `Quick test_value_conforms;
+    Alcotest.test_case "value codec roundtrip" `Quick test_value_codec;
+    Alcotest.test_case "value type codec roundtrip" `Quick test_value_ty_codec;
+    Alcotest.test_case "heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "heap identity swap" `Quick test_heap_swap_identity;
+    Alcotest.test_case "txn abort rolls back" `Quick test_txn_abort;
+    Alcotest.test_case "txn commit and nesting" `Quick
+      test_txn_commit_and_nesting;
+    Alcotest.test_case "hash index" `Quick test_index;
+    Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot file save/load" `Quick test_snapshot_file;
+    Alcotest.test_case "snapshot malformed input" `Quick test_snapshot_malformed;
+    Alcotest.test_case "storage accounting" `Quick test_stats;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_value_roundtrip; prop_value_compare_total ]

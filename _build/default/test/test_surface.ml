@@ -1,0 +1,115 @@
+(* Tests for the textual object-algebra surface syntax. *)
+
+open Tse_store
+open Tse_schema
+open Tse_db
+open Tse_algebra
+
+let check = Alcotest.check
+let uni () = Tse_workload.University.build ()
+
+let expr_eq a b = Alcotest.(check bool) (a ^ " parses") true
+    (Expr.equal (Surface.parse_expr a) b)
+
+let test_expr_literals () =
+  expr_eq "42" (Expr.int 42);
+  expr_eq "3.5" (Expr.Const (Value.Float 3.5));
+  expr_eq "\"hello world\"" (Expr.str "hello world");
+  expr_eq "true" (Expr.bool true);
+  expr_eq "null" (Expr.Const Value.Null);
+  expr_eq "self" Expr.Self;
+  expr_eq "age" (Expr.attr "age")
+
+let test_expr_precedence () =
+  (* * binds tighter than +, + tighter than comparison, comparison
+     tighter than and, and tighter than or *)
+  expr_eq "1 + 2 * 3"
+    Expr.(Arith (Add, int 1, Arith (Mul, int 2, int 3)));
+  expr_eq "age + 1 >= 18 and gpa > 3.0 or vip = true"
+    Expr.(
+      (Arith (Add, attr "age", int 1) >= int 18 && (attr "gpa" > Const (Value.Float 3.0)))
+      || (attr "vip" === bool true));
+  expr_eq "not age < 10" Expr.(Not (attr "age" < int 10));
+  expr_eq "(1 + 2) * 3" Expr.(Arith (Mul, Arith (Add, int 1, int 2), int 3))
+
+let test_expr_builtins () =
+  expr_eq "in_class(Student)" (Expr.In_class "Student");
+  expr_eq "isnull(age)" (Expr.Is_null (Expr.attr "age"));
+  expr_eq "if age >= 18 then \"adult\" else \"minor\""
+    Expr.(If (attr "age" >= int 18, str "adult", str "minor"));
+  expr_eq "\"a\" ^ \"b\"" Expr.(Concat (str "a", str "b"))
+
+let test_expr_errors () =
+  List.iter
+    (fun bad ->
+      try
+        ignore (Surface.parse_expr bad);
+        Alcotest.fail (bad ^ " should not parse")
+      with Surface.Parse_error _ -> ())
+    [ ""; "1 +"; "(1"; "\"unterminated"; "1 2"; "if 1 then 2"; "@" ]
+
+let test_query_parsing () =
+  (match Surface.parse_query "select from Person where age >= 18" with
+  | Ops.Select (Ops.Class "Person", _) -> ()
+  | _ -> Alcotest.fail "select shape");
+  (match Surface.parse_query "hide age, ssn from Person" with
+  | Ops.Hide ([ "age"; "ssn" ], Ops.Class "Person") -> ()
+  | _ -> Alcotest.fail "hide shape");
+  (match Surface.parse_query "union (Student, Staff)" with
+  | Ops.Union (Ops.Class "Student", Ops.Class "Staff") -> ()
+  | _ -> Alcotest.fail "union shape");
+  match
+    Surface.parse_query
+      "select from (hide ssn from Person) where age >= 18 and in_class(Student)"
+  with
+  | Ops.Select (Ops.Hide ([ "ssn" ], Ops.Class "Person"), _) -> ()
+  | _ -> Alcotest.fail "nested shape"
+
+let test_define_end_to_end () =
+  let u = uni () in
+  let db = u.db in
+  let _young = Database.create_object db u.person ~init:[ ("age", Value.Int 10) ] in
+  let old = Database.create_object db u.person ~init:[ ("age", Value.Int 40) ] in
+  let vc = Surface.define db "defineVC Adult as (select from Person where age >= 18)" in
+  check Alcotest.string "named" "Adult"
+    (Schema_graph.name_of (Database.graph db) vc);
+  check Alcotest.int "extent" 1 (Database.extent_size db vc);
+  Alcotest.(check bool) "member" true (Oid.Set.mem old (Database.extent db vc));
+  (* a capacity-augmenting refine through the surface syntax *)
+  let vc2 =
+    Surface.define db "defineVC Student' as (refine register : bool for Student)"
+  in
+  Alcotest.(check bool) "stored attribute created" true
+    (Type_info.has_prop (Database.graph db) vc2 "register");
+  (* a derived method through the surface syntax *)
+  let vc3 =
+    Surface.define db "defineVC P2 as (refine senior = age >= 65 for Person)"
+  in
+  let oldest = Database.create_object db u.person ~init:[ ("age", Value.Int 70) ] in
+  ignore vc3;
+  Alcotest.(check bool) "method evaluates" true
+    (Value.equal (Database.get_prop db oldest "senior") (Value.Bool true));
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_define_semantic_errors () =
+  let u = uni () in
+  (try
+     ignore (Surface.define u.db "defineVC X as (select from Nowhere where age > 1)");
+     Alcotest.fail "unknown class should fail"
+   with Ops.Error _ -> ());
+  try
+    ignore (Surface.define u.db "defineVC Person as (hide age from Person)");
+    Alcotest.fail "name clash should fail"
+  with Ops.Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "expression literals" `Quick test_expr_literals;
+    Alcotest.test_case "expression precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "expression builtins" `Quick test_expr_builtins;
+    Alcotest.test_case "expression errors" `Quick test_expr_errors;
+    Alcotest.test_case "query parsing" `Quick test_query_parsing;
+    Alcotest.test_case "defineVC end to end" `Quick test_define_end_to_end;
+    Alcotest.test_case "defineVC semantic errors" `Quick
+      test_define_semantic_errors;
+  ]
