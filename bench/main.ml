@@ -297,6 +297,65 @@ let ablation_snapshot () =
         (staged (fun () -> ignore (Snapshot.of_string s)));
     ]
 
+let ablation_durability () =
+  hdr "ABLATION: durability — WAL commit, checkpoint, recovery replay";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tse_bench_durable_%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let d, _ = Durable.open_dir ~dir in
+  let db = Durable.db d in
+  let person =
+    Schema_graph.register_base (Database.graph db) ~name:"Person"
+      ~props:
+        [
+          Prop.stored ~origin:(Oid.of_int 0) "name" Value.TString;
+          Prop.stored ~origin:(Oid.of_int 0) "age" Value.TInt;
+        ]
+      ~supers:[]
+  in
+  Database.note_new_class db person;
+  let objs =
+    List.init 100 (fun i ->
+        Database.create_object db person
+          ~init:
+            [
+              ("name", Value.String (Printf.sprintf "p%04d" i));
+              ("age", Value.Int i);
+            ])
+  in
+  Durable.commit d;
+  let counter = ref 0 in
+  bench "durability"
+    [
+      Test.make ~name:"commit:one-attr batch (fsync)"
+        (staged (fun () ->
+             incr counter;
+             Database.set_attr db (List.hd objs) "age" (Value.Int !counter);
+             Durable.commit d));
+      Test.make ~name:"checkpoint:fold-wal-into-snapshot"
+        (staged (fun () -> Durable.checkpoint d));
+    ];
+  (* leave a real log tail behind, then measure opening it *)
+  List.iteri (fun i o -> Database.set_attr db o "age" (Value.Int (1000 + i))) objs;
+  Durable.commit d;
+  Durable.close d;
+  let wal_len = (Unix.stat (Filename.concat dir "wal")).Unix.st_size in
+  let d2, report = Durable.open_dir ~dir in
+  Printf.printf "  log tail: %d byte(s), %d batch(es), %d entries\n" wal_len
+    report.Recovery.batches_applied report.Recovery.entries_applied;
+  Durable.close d2;
+  bench "recovery"
+    [
+      Test.make ~name:"open:snapshot+wal-tail (100 objs)"
+        (staged (fun () ->
+             let d, _ = Durable.open_dir ~dir in
+             Durable.close d));
+    ]
+
 let evolution_longitudinal () =
   hdr "SECTION 2 STATS: 18-month trace replayed through TSE";
   let initial_classes = 10 and initial_attrs = 30 in
@@ -334,5 +393,6 @@ let () =
   ablation_propagation_depth ();
   ablation_query_engine ();
   ablation_snapshot ();
+  ablation_durability ();
   evolution_longitudinal ();
   Printf.printf "\nbench: done\n"

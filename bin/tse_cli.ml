@@ -450,6 +450,46 @@ let repl schema seed script =
   in
   loop ()
 
+(* ---------------- durability commands ---------------- *)
+
+let print_report report =
+  Format.printf "%a@." Tse_store.Recovery.pp_report report
+
+(* A corrupt snapshot or an unusable path is an expected operator-facing
+   error, not a crash: report it and exit 2. *)
+let open_durable dir =
+  try Durable.open_dir ~dir with
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+  | Unix.Unix_error (e, _, path) ->
+    Printf.eprintf "error: %s: %s\n" path (Unix.error_message e);
+    exit 2
+
+let recover dir =
+  let d, report = open_durable dir in
+  print_report report;
+  let db = Durable.db d in
+  Printf.printf "state: %d classes, %d objects, last batch %d\n"
+    (Schema_graph.size (Database.graph db))
+    (Database.object_count db) (Durable.seq d);
+  (match Database.check db with
+  | [] ->
+    Printf.printf "database consistent\n";
+    Durable.close d
+  | problems ->
+    List.iter (Printf.printf "PROBLEM: %s\n") problems;
+    Durable.close d;
+    exit 1)
+
+let checkpoint dir =
+  let d, report = open_durable dir in
+  print_report report;
+  Durable.checkpoint d;
+  Printf.printf "checkpoint written: snapshot at batch %d, log reset\n"
+    (Durable.seq d);
+  Durable.close d
+
 open Cmdliner
 
 let schema_arg =
@@ -466,10 +506,38 @@ let script_arg =
 
 let repl_term = Term.(const repl $ schema_arg $ seed_arg $ script_arg)
 
-let cmd =
+let dir_arg =
+  let doc = "Durable database directory (snapshot + write-ahead log)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let repl_cmd =
   Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive shell (the default command)")
+    repl_term
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Open a durable database directory, replaying (and if necessary \
+          truncating) its write-ahead log, report what was recovered and \
+          run the consistency oracle. Exits non-zero if the recovered \
+          state is inconsistent.")
+    Term.(const recover $ dir_arg)
+
+let checkpoint_cmd =
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Open a durable database directory and fold its write-ahead log \
+          into a fresh snapshot (atomic replace), then reset the log.")
+    Term.(const checkpoint $ dir_arg)
+
+let cmd =
+  Cmd.group
+    ~default:repl_term
     (Cmd.info "tse_cli" ~version:"1.0"
        ~doc:"Interactive shell for the Transparent Schema Evolution system")
-    repl_term
+    [ repl_cmd; recover_cmd; checkpoint_cmd ]
 
 let () = exit (Cmd.eval cmd)

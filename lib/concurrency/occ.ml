@@ -27,7 +27,8 @@ let create db =
       match event with
       | Database.Object_created o
       | Database.Object_destroyed o
-      | Database.Attr_set (o, _, _) ->
+      | Database.Attr_set (o, _, _)
+      | Database.Bases_changed o ->
         bump t o
       | Database.Reclassified _ ->
         (* membership recomputation follows an attribute change that
@@ -82,3 +83,34 @@ let abort s = s.active <- false
 let is_active s = s.active
 let reads s = Oid.Tbl.length s.read_set
 let writes s = List.length s.write_log
+
+exception Too_many_conflicts of conflict
+
+(* Run [f] against fresh sessions until one commits, sleeping between
+   attempts with bounded linear backoff. Each retry re-reads through a new
+   session, so the body observes the state the conflicting commit left. *)
+let commit_with_retry ?(attempts = 5) ?(backoff = 0.001) t f =
+  if attempts < 1 then invalid_arg "Occ.commit_with_retry: attempts < 1";
+  if backoff < 0. then invalid_arg "Occ.commit_with_retry: negative backoff";
+  let max_backoff = 0.05 in
+  let rec go attempt =
+    let s = begin_session t in
+    let result =
+      match f s with
+      | v -> if is_active s then commit s |> Result.map (fun () -> v)
+             else Error { objects = [] }  (* body aborted the session *)
+      | exception e ->
+        if is_active s then abort s;
+        raise e
+    in
+    match result with
+    | Ok v -> (v, attempt)
+    | Error conflict ->
+      if attempt >= attempts then raise (Too_many_conflicts conflict)
+      else begin
+        let delay = Float.min max_backoff (backoff *. float_of_int attempt) in
+        if delay > 0. then Unix.sleepf delay;
+        go (attempt + 1)
+      end
+  in
+  go 1

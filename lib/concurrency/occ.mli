@@ -46,3 +46,21 @@ val abort : session -> unit
 val is_active : session -> bool
 val reads : session -> int
 val writes : session -> int
+
+(** {2 Retrying} *)
+
+exception Too_many_conflicts of conflict
+(** The last attempt's conflict. *)
+
+val commit_with_retry :
+  ?attempts:int -> ?backoff:float -> t -> (session -> 'a) -> 'a * int
+(** [commit_with_retry t f] runs [f] against a fresh session and commits;
+    on conflict it retries with a new session (so the body re-reads
+    current state), sleeping [backoff * attempt] seconds — capped at
+    50ms — between attempts. Returns the body's result and the number of
+    the attempt that committed (1 = no conflicts). An exception from [f]
+    aborts the session and propagates; if [f] itself aborts the session,
+    that counts as a conflict and is retried.
+
+    @raise Too_many_conflicts after [attempts] (default 5) conflicts.
+    @raise Invalid_argument on [attempts < 1] or negative [backoff]. *)

@@ -28,6 +28,7 @@ and event =
   | Object_destroyed of Oid.t
   | Attr_set of Oid.t * string * Value.t
   | Reclassified of Oid.t
+  | Bases_changed of Oid.t
 
 let create () =
   let heap = Heap.create () in
@@ -316,6 +317,7 @@ let create_object ?(init = []) t cid =
      each assignment re-derives select-class memberships *)
   reclassify t o;
   List.iter (fun (name, v) -> set_attr t o name v) init;
+  notify t (Bases_changed o);
   notify t (Object_created o);
   o
 
@@ -335,6 +337,7 @@ let add_base_membership t o cid =
     | None -> invalid_arg "Database.add_base_membership: unknown object"
   in
   r := minimal_bases t (Oid.Set.add cid !r);
+  notify t (Bases_changed o);
   reclassify t o
 
 let remove_base_membership t o cid =
@@ -352,6 +355,7 @@ let remove_base_membership t o cid =
   in
   let dead = Oid.Set.add cid (Schema_graph.descendants t.graph cid) in
   r := minimal_bases t (Oid.Set.diff expanded dead);
+  notify t (Bases_changed o);
   reclassify t o
 
 

@@ -110,6 +110,9 @@ type event =
   | Attr_set of Tse_store.Oid.t * string * Tse_store.Value.t
       (** object, attribute, new value *)
   | Reclassified of Tse_store.Oid.t
+  | Bases_changed of Tse_store.Oid.t
+      (** the object's explicit base-class membership set changed (fires
+          on creation and on add/remove of a base membership) *)
 
 val add_listener : t -> (event -> unit) -> unit
 

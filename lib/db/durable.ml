@@ -1,0 +1,264 @@
+module Oid = Tse_store.Oid
+module Heap = Tse_store.Heap
+module Codec = Tse_store.Codec
+module Snapshot = Tse_store.Snapshot
+module Storage = Tse_store.Storage
+module Wal = Tse_store.Wal
+module Recovery = Tse_store.Recovery
+module Schema_graph = Tse_schema.Schema_graph
+module Schema_codec = Tse_schema.Schema_codec
+module Klass = Tse_schema.Klass
+
+type t = {
+  dir : string;
+  database : Database.t;
+  wal : Wal.t;
+  mutable seq : int;  (* last appended batch *)
+  mutable pending : Heap.op list;  (* newest first *)
+  dirty_bases : unit Oid.Tbl.t;
+  mutable last_schema : string;  (* last durable schema image *)
+  mutable closed : bool;
+}
+
+let db t = t.database
+let dir t = t.dir
+let seq t = t.seq
+let snapshot_path dir = Filename.concat dir "snapshot"
+let wal_path dir = Filename.concat dir "wal"
+
+let () = Storage.declare_failpoints "checkpoint"
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot format                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let encode_bases db =
+  let buf = Buffer.create 256 in
+  let bases =
+    List.map
+      (fun o -> (o, Oid.Set.elements (Database.base_membership db o)))
+      (List.sort Oid.compare (Database.objects db))
+  in
+  Codec.add_list buf
+    (fun buf (o, cids) ->
+      Schema_codec.add_cid buf o;
+      Codec.add_list buf Schema_codec.add_cid cids)
+    bases;
+  Buffer.contents buf
+
+let decode_bases s =
+  let bases, pos =
+    Codec.read_list
+      (fun s pos ->
+        let o, pos = Schema_codec.read_cid s pos in
+        let cids, pos = Codec.read_list Schema_codec.read_cid s pos in
+        ((o, cids), pos))
+      s 0
+  in
+  if pos <> String.length s then Codec.fail_at pos "trailing bases bytes";
+  bases
+
+let snapshot_string t =
+  let db = t.database in
+  let schema = Schema_codec.encode_graph (Database.graph db) in
+  let bases = encode_bases db in
+  let heap_text = Snapshot.to_string (Database.heap db) in
+  let buf = Buffer.create (String.length heap_text + 256) in
+  Buffer.add_string buf "TSE-DB 1\n";
+  Buffer.add_string buf (Printf.sprintf "seq %d\n" t.seq);
+  Buffer.add_string buf (Printf.sprintf "SCHEMA %d\n" (String.length schema));
+  Buffer.add_string buf schema;
+  Buffer.add_string buf (Printf.sprintf "\nBASES %d\n" (String.length bases));
+  Buffer.add_string buf bases;
+  Buffer.add_string buf "\nHEAP\n";
+  Buffer.add_string buf heap_text;
+  Buffer.contents buf
+
+(* [seq, schema blob, bases blob, heap text] *)
+let parse_snapshot text =
+  let fail what = failwith ("Durable: snapshot: " ^ what) in
+  let header = "TSE-DB 1\n" in
+  if String.length text < String.length header
+     || String.sub text 0 (String.length header) <> header
+  then fail "bad header";
+  let pos = String.length header in
+  let line_end pos = String.index_from text pos '\n' in
+  let nl = line_end pos in
+  let seq =
+    match String.split_on_char ' ' (String.sub text pos (nl - pos)) with
+    | [ "seq"; n ] -> ( try int_of_string n with _ -> fail "bad seq line")
+    | _ -> fail "bad seq line"
+  in
+  let sized pos keyword =
+    let nl = line_end pos in
+    let len =
+      match String.split_on_char ' ' (String.sub text pos (nl - pos)) with
+      | [ k; n ] when String.equal k keyword -> (
+        try int_of_string n with _ -> fail ("bad " ^ keyword ^ " line"))
+      | _ -> fail ("bad " ^ keyword ^ " line")
+    in
+    if String.length text < nl + 1 + len then fail (keyword ^ " truncated");
+    (String.sub text (nl + 1) len, nl + 1 + len)
+  in
+  let schema, pos = sized (nl + 1) "SCHEMA" in
+  if pos >= String.length text || text.[pos] <> '\n' then
+    fail "missing newline after SCHEMA";
+  let bases, pos = sized (pos + 1) "BASES" in
+  let heap_marker = "\nHEAP\n" in
+  if
+    String.length text < pos + String.length heap_marker
+    || String.sub text pos (String.length heap_marker) <> heap_marker
+  then fail "missing HEAP section";
+  let heap_text =
+    String.sub text
+      (pos + String.length heap_marker)
+      (String.length text - pos - String.length heap_marker)
+  in
+  (seq, schema, bases, heap_text)
+
+(* ------------------------------------------------------------------ *)
+(* Open = snapshot + log replay                                        *)
+(* ------------------------------------------------------------------ *)
+
+let attach t =
+  let heap = Database.heap t.database in
+  Heap.set_logger heap (Some (fun op -> t.pending <- op :: t.pending));
+  Database.add_listener t.database (fun event ->
+      match event with
+      | Database.Bases_changed o | Database.Object_destroyed o ->
+        Oid.Tbl.replace t.dirty_bases o ()
+      | Database.Object_created _ | Database.Attr_set _
+      | Database.Reclassified _ ->
+        (* already captured as physical heap ops *)
+        ())
+
+let open_dir ~dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let snap_file = snapshot_path dir in
+  let snap_seq, snap_schema, snap_bases, heap =
+    if Sys.file_exists snap_file then begin
+      match Storage.read_file snap_file with
+      | text ->
+        let seq, schema, bases, heap_text = parse_snapshot text in
+        let heap =
+          try Snapshot.of_string heap_text
+          with Failure msg -> failwith ("Durable: snapshot: " ^ msg)
+        in
+        (seq, Some schema, decode_bases bases, heap)
+      | exception Sys_error msg ->
+        failwith (Printf.sprintf "Durable.open_dir %S: %s" snap_file msg)
+    end
+    else (0, None, [], Heap.create ())
+  in
+  (* replay the log tail: heap ops directly, extension entries into the
+     latest schema image and a base-membership overlay *)
+  let latest_schema = ref snap_schema in
+  let bases_tbl = Oid.Tbl.create 64 in
+  List.iter (fun (o, cids) -> Oid.Tbl.replace bases_tbl o cids) snap_bases;
+  let on_ext kind blob =
+    match kind with
+    | "schema" -> latest_schema := Some blob
+    | "bases" ->
+      List.iter (fun (o, cids) -> Oid.Tbl.replace bases_tbl o cids)
+        (decode_bases blob)
+    | other -> failwith ("Durable: unknown log extension " ^ other)
+  in
+  let report =
+    Recovery.replay ~heap ~path:(wal_path dir) ~after:snap_seq ~on_ext
+  in
+  let graph =
+    match !latest_schema with
+    | Some blob -> (
+      try Schema_codec.decode_graph ~gen:(Heap.gen heap) blob
+      with Codec.Corrupt (what, pos) ->
+        failwith (Printf.sprintf "Durable: schema: %s at %d" what pos))
+    | None -> Schema_graph.create ~gen:(Heap.gen heap)
+  in
+  (* drop memberships of objects destroyed later in the log *)
+  let bases =
+    Oid.Tbl.fold
+      (fun o cids acc -> if Heap.mem heap o then (o, cids) :: acc else acc)
+      bases_tbl []
+  in
+  let database = Database.restore ~heap ~graph ~bases in
+  List.iter
+    (fun (k : Klass.t) -> Database.note_new_class database k.cid)
+    (Schema_graph.classes graph);
+  let seq = max snap_seq report.Recovery.last_seq in
+  let t =
+    {
+      dir;
+      database;
+      wal = Wal.open_append ~path:(wal_path dir);
+      seq;
+      pending = [];
+      dirty_bases = Oid.Tbl.create 16;
+      last_schema = Schema_codec.encode_graph graph;
+      closed = false;
+    }
+  in
+  attach t;
+  (t, report)
+
+(* ------------------------------------------------------------------ *)
+(* Commit / checkpoint / close                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_open t what =
+  if t.closed then invalid_arg (Printf.sprintf "Durable.%s: closed" what)
+
+let commit t =
+  check_open t "commit";
+  let db = t.database in
+  let ops = List.rev_map (fun op -> Wal.Op op) t.pending in
+  let bases_entry =
+    if Oid.Tbl.length t.dirty_bases = 0 then []
+    else begin
+      let buf = Buffer.create 64 in
+      let dirty =
+        Oid.Tbl.fold (fun o () acc -> o :: acc) t.dirty_bases []
+        |> List.sort Oid.compare
+      in
+      Codec.add_list buf
+        (fun buf o ->
+          Schema_codec.add_cid buf o;
+          let cids =
+            if Database.mem_object db o then
+              Oid.Set.elements (Database.base_membership db o)
+            else []
+          in
+          Codec.add_list buf Schema_codec.add_cid cids)
+        dirty;
+      [ Wal.Ext ("bases", Buffer.contents buf) ]
+    end
+  in
+  let schema = Schema_codec.encode_graph (Database.graph db) in
+  let schema_entry =
+    if String.equal schema t.last_schema then []
+    else [ Wal.Ext ("schema", schema) ]
+  in
+  if ops <> [] || bases_entry <> [] || schema_entry <> [] then begin
+    let gen_entry = [ Wal.Gen (Oid.Gen.peek (Heap.gen (Database.heap db))) ] in
+    Wal.append t.wal ~seq:(t.seq + 1)
+      (ops @ gen_entry @ bases_entry @ schema_entry);
+    (* durable now: advance the in-memory image *)
+    t.seq <- t.seq + 1;
+    t.pending <- [];
+    Oid.Tbl.reset t.dirty_bases;
+    t.last_schema <- schema
+  end
+
+let checkpoint t =
+  check_open t "checkpoint";
+  commit t;
+  Storage.write_atomic ~fp:"checkpoint" ~path:(snapshot_path t.dir)
+    (snapshot_string t);
+  (* a crash before this reset is benign: replay skips seq <= snapshot's *)
+  Wal.reset t.wal
+
+let close t =
+  check_open t "close";
+  commit t;
+  t.closed <- true;
+  Heap.set_logger (Database.heap t.database) None;
+  Wal.close t.wal

@@ -1,0 +1,51 @@
+(** Crash-safe persistence for a {!Database}: snapshot + write-ahead log.
+
+    A durable database lives in a directory holding two files:
+
+    - [snapshot] — a checkpoint image (header with the last folded batch
+      sequence number, the encoded schema graph, the per-object base
+      memberships, and a heap snapshot), replaced atomically;
+    - [wal] — the write-ahead log of every commit since that snapshot.
+
+    Every committed change is captured through the heap's mutation
+    observer ({!Tse_store.Heap.set_logger}) and the database's change
+    events, so one {!commit} appends exactly one checksummed batch:
+    the physical heap ops, an OID-generator watermark, the base
+    memberships that changed, and — only when it differs from the last
+    durable image — the re-encoded schema graph.
+
+    {!open_dir} is recovery: load the snapshot (if any), replay the log
+    tail, truncating a torn or corrupt tail instead of failing, and
+    report what happened. *)
+
+type t
+
+val open_dir : dir:string -> t * Tse_store.Recovery.report
+(** Open (creating the directory and an empty database if needed). The
+    report describes the log replay: batches applied and skipped, bytes
+    dropped from a bad tail and why.
+
+    @raise Failure if the snapshot itself is unreadable or corrupt (the
+    snapshot is written atomically, so this means outside interference,
+    not a crash), or if a structurally valid log batch contradicts the
+    snapshot. *)
+
+val db : t -> Database.t
+val dir : t -> string
+
+val seq : t -> int
+(** Sequence number of the last appended batch. *)
+
+val commit : t -> unit
+(** Append everything buffered since the previous commit as one atomic
+    batch and fsync. A commit with no changes writes nothing. *)
+
+val checkpoint : t -> unit
+(** {!commit}, then fold the whole state into a fresh snapshot
+    (atomically: temp file, fsync, rename) and reset the log. A crash
+    between the rename and the log reset is safe: replay skips batches
+    the snapshot already covers. *)
+
+val close : t -> unit
+(** {!commit}, detach the observers and close the log. The value must
+    not be used afterwards. *)

@@ -52,7 +52,8 @@ let on_event t event =
   | Database.Object_created o
   | Database.Object_destroyed o
   | Database.Attr_set (o, _, _)
-  | Database.Reclassified o ->
+  | Database.Reclassified o
+  | Database.Bases_changed o ->
     handle o
 
 let create db =

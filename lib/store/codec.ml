@@ -1,0 +1,57 @@
+exception Corrupt of string * int
+
+let fail_at pos what = raise (Corrupt (what, pos))
+
+let add_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let add_str buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let add_bool buf b = Buffer.add_char buf (if b then '1' else '0')
+
+let add_list buf add xs =
+  add_int buf (List.length xs);
+  List.iter (add buf) xs
+
+let int_of_string_at pos s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail_at pos (Printf.sprintf "bad int %S" s)
+
+let read_int s pos =
+  let j =
+    try String.index_from s pos ';'
+    with Not_found | Invalid_argument _ -> fail_at pos "unterminated int"
+  in
+  (int_of_string_at pos (String.sub s pos (j - pos)), j + 1)
+
+let read_str s pos =
+  let j =
+    try String.index_from s pos ':'
+    with Not_found | Invalid_argument _ -> fail_at pos "unterminated str"
+  in
+  let n = int_of_string_at pos (String.sub s pos (j - pos)) in
+  if n < 0 || j + 1 + n > String.length s then fail_at pos "truncated str";
+  (String.sub s (j + 1) n, j + 1 + n)
+
+let read_bool s pos =
+  if pos >= String.length s then fail_at pos "eof";
+  match s.[pos] with
+  | '1' -> (true, pos + 1)
+  | '0' -> (false, pos + 1)
+  | c -> fail_at pos (Printf.sprintf "bad bool %C" c)
+
+let read_list read s pos =
+  let n, pos = read_int s pos in
+  if n < 0 then fail_at pos "negative list length";
+  let rec go acc pos k =
+    if k = 0 then (List.rev acc, pos)
+    else
+      let x, pos = read s pos in
+      go (x :: acc) pos (k - 1)
+  in
+  go [] pos n

@@ -1,0 +1,23 @@
+(** Position-based primitive codecs shared by every persisted format
+    (catalog blobs, WAL records, durable snapshots).
+
+    Writers append to a [Buffer]; readers take [(string, pos)] and return
+    [(value, pos')]. Ints are decimal + [';'], strings length-prefixed
+    ([len ':' bytes]), bools one character, lists count-prefixed. *)
+
+exception Corrupt of string * int
+(** [(what, pos)] — raised by every reader on malformed input. WAL
+    recovery catches it to truncate at the offending record; snapshot
+    loaders convert it to [Failure]. *)
+
+val add_int : Buffer.t -> int -> unit
+val add_str : Buffer.t -> string -> unit
+val add_bool : Buffer.t -> bool -> unit
+val add_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+val read_int : string -> int -> int * int
+val read_str : string -> int -> string * int
+val read_bool : string -> int -> bool * int
+val read_list : (string -> int -> 'a * int) -> string -> int -> 'a list * int
+
+val fail_at : int -> string -> 'a
+(** Raise {!Corrupt} — for composite readers built on these primitives. *)

@@ -1,0 +1,27 @@
+(* Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), the
+   same checksum zlib and ethernet use. Table-driven, one byte at a time:
+   plenty fast for WAL records and dependency-free. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let table = Lazy.force table in
+  let crc = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.lognot !crc
+
+let string s = update 0l s 0 (String.length s)

@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE) checksums for WAL record integrity. *)
+
+val string : string -> int32
+(** Checksum of a whole string. [string "123456789" = 0xCBF43926l]. *)
+
+val update : int32 -> string -> int -> int -> int32
+(** [update crc s pos len] extends [crc] over [s.[pos .. pos+len-1]]. *)

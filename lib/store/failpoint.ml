@@ -1,0 +1,41 @@
+exception Crash of string
+exception Io_error of string
+
+type action = Crash_now | Error_now | Short_write of int
+
+let declared : (string, unit) Hashtbl.t = Hashtbl.create 16
+let armed : (string, action) Hashtbl.t = Hashtbl.create 8
+
+let declare name =
+  if not (Hashtbl.mem declared name) then Hashtbl.replace declared name ()
+
+let is_declared name = Hashtbl.mem declared name
+
+let all () =
+  Hashtbl.fold (fun name () acc -> name :: acc) declared []
+  |> List.sort String.compare
+
+let arm name action =
+  if not (Hashtbl.mem declared name) then
+    invalid_arg (Printf.sprintf "Failpoint.arm: unknown failpoint %s" name);
+  Hashtbl.replace armed name action
+
+let disarm name = Hashtbl.remove armed name
+let reset () = Hashtbl.reset armed
+
+let hit name =
+  match Hashtbl.find_opt armed name with
+  | None | Some (Short_write _) -> ()
+  | Some Crash_now ->
+    Hashtbl.remove armed name;
+    raise (Crash name)
+  | Some Error_now ->
+    Hashtbl.remove armed name;
+    raise (Io_error name)
+
+let short name ~len =
+  match Hashtbl.find_opt armed name with
+  | Some (Short_write n) ->
+    Hashtbl.remove armed name;
+    Some (min (max n 0) len)
+  | Some Crash_now | Some Error_now | None -> None

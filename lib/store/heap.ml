@@ -4,16 +4,34 @@ type cell = {
   slots : (string, Value.t) Hashtbl.t;
 }
 
+type op =
+  | Alloc of Oid.t * string
+  | Free of Oid.t
+  | Set_tag of Oid.t * string
+  | Set_slot of Oid.t * string * Value.t
+  | Remove_slot of Oid.t * string
+  | Swap of Oid.t * Oid.t
+
 type undo = unit -> unit
 
 type t = {
   cells : cell Oid.Tbl.t;
   gen : Oid.Gen.t;
   mutable journals : undo list ref list;
+  mutable logger : (op -> unit) option;
 }
 
-let create () = { cells = Oid.Tbl.create 256; gen = Oid.Gen.create (); journals = [] }
+let fp_rollback = "txn.rollback"
+let () = Failpoint.declare fp_rollback
+
+let create () =
+  { cells = Oid.Tbl.create 256; gen = Oid.Gen.create (); journals = [];
+    logger = None }
+
 let gen t = t.gen
+let set_logger t logger = t.logger <- logger
+
+let log t op = match t.logger with None -> () | Some f -> f op
 
 let record t undo =
   match t.journals with
@@ -23,20 +41,20 @@ let record t undo =
 let alloc t ~tag =
   let oid = Oid.Gen.fresh t.gen in
   Oid.Tbl.replace t.cells oid { oid; tag; slots = Hashtbl.create 4 };
-  record t (fun () -> Oid.Tbl.remove t.cells oid);
-  oid
-
-let alloc_with t ~tag bindings =
-  let oid = alloc t ~tag in
-  let cell = Oid.Tbl.find t.cells oid in
-  List.iter (fun (k, v) -> Hashtbl.replace cell.slots k v) bindings;
+  log t (Alloc (oid, tag));
+  record t (fun () ->
+      Oid.Tbl.remove t.cells oid;
+      log t (Free oid));
   oid
 
 let alloc_raw t ~oid ~tag =
   if Oid.Tbl.mem t.cells oid then invalid_arg "Heap.alloc_raw: oid in use";
   Oid.Gen.mark_used t.gen oid;
   Oid.Tbl.replace t.cells oid { oid; tag; slots = Hashtbl.create 4 };
-  record t (fun () -> Oid.Tbl.remove t.cells oid);
+  log t (Alloc (oid, tag));
+  record t (fun () ->
+      Oid.Tbl.remove t.cells oid;
+      log t (Free oid));
   oid
 
 let free t oid =
@@ -44,7 +62,11 @@ let free t oid =
   | None -> ()
   | Some cell ->
     Oid.Tbl.remove t.cells oid;
-    record t (fun () -> Oid.Tbl.replace t.cells oid cell)
+    log t (Free oid);
+    record t (fun () ->
+        Oid.Tbl.replace t.cells oid cell;
+        log t (Alloc (oid, cell.tag));
+        Hashtbl.iter (fun k v -> log t (Set_slot (oid, k, v))) cell.slots)
 
 let mem t oid = Oid.Tbl.mem t.cells oid
 let find t oid = Oid.Tbl.find_opt t.cells oid
@@ -60,7 +82,10 @@ let set_tag t oid tag =
   let cell = find_exn t oid in
   let old = cell.tag in
   cell.tag <- tag;
-  record t (fun () -> cell.tag <- old)
+  log t (Set_tag (oid, tag));
+  record t (fun () ->
+      cell.tag <- old;
+      log t (Set_tag (oid, old)))
 
 let get_slot t oid name =
   match Hashtbl.find_opt (find_exn t oid).slots name with
@@ -71,10 +96,20 @@ let set_slot t oid name v =
   let cell = find_exn t oid in
   let old = Hashtbl.find_opt cell.slots name in
   Hashtbl.replace cell.slots name v;
+  log t (Set_slot (oid, name, v));
   record t (fun () ->
       match old with
-      | None -> Hashtbl.remove cell.slots name
-      | Some v -> Hashtbl.replace cell.slots name v)
+      | None ->
+        Hashtbl.remove cell.slots name;
+        log t (Remove_slot (oid, name))
+      | Some v ->
+        Hashtbl.replace cell.slots name v;
+        log t (Set_slot (oid, name, v)))
+
+let alloc_with t ~tag bindings =
+  let oid = alloc t ~tag in
+  List.iter (fun (k, v) -> set_slot t oid k v) bindings;
+  oid
 
 let remove_slot t oid name =
   let cell = find_exn t oid in
@@ -82,7 +117,10 @@ let remove_slot t oid name =
   | None -> ()
   | Some old ->
     Hashtbl.remove cell.slots name;
-    record t (fun () -> Hashtbl.replace cell.slots name old)
+    log t (Remove_slot (oid, name));
+    record t (fun () ->
+        Hashtbl.replace cell.slots name old;
+        log t (Set_slot (oid, name, old)))
 
 let slot_names t oid =
   Hashtbl.fold (fun k _ acc -> k :: acc) (find_exn t oid).slots []
@@ -107,9 +145,12 @@ let swap_identity t a b =
   in
   assign ca tag_b slots_b;
   assign cb tag_a slots_a;
+  log t (Swap (a, b));
   record t (fun () ->
       assign ca tag_a slots_a;
-      assign cb tag_b slots_b)
+      assign cb tag_b slots_b;
+      (* swapping is an involution, so the compensation is the same op *)
+      log t (Swap (a, b)))
 
 let iter t f = Oid.Tbl.iter (fun _ c -> f c) t.cells
 let fold t ~init ~f = Oid.Tbl.fold (fun _ c acc -> f acc c) t.cells init
@@ -138,7 +179,20 @@ let pop_journal_abort t =
   | j :: rest ->
     (* Entries must not re-journal while undoing. *)
     t.journals <- [];
-    List.iter (fun undo -> undo ()) !j;
-    t.journals <- rest
+    (* An entry that fails to undo must not abandon the rest of the
+       rollback: later (= earlier-recorded) entries are still reversed and
+       the journal stack stays balanced; the first error is re-raised. *)
+    let deferred = ref None in
+    List.iter
+      (fun undo ->
+        match
+          Failpoint.hit fp_rollback;
+          undo ()
+        with
+        | () -> ()
+        | exception e -> if !deferred = None then deferred := Some e)
+      !j;
+    t.journals <- rest;
+    (match !deferred with Some e -> raise e | None -> ())
 
 let journal_depth t = List.length t.journals

@@ -17,7 +17,27 @@ type cell = {
   slots : (string, Value.t) Hashtbl.t;
 }
 
+type op =
+  | Alloc of Oid.t * string
+  | Free of Oid.t
+  | Set_tag of Oid.t * string
+  | Set_slot of Oid.t * string * Value.t
+  | Remove_slot of Oid.t * string
+  | Swap of Oid.t * Oid.t
+      (** The physical mutation language: what the WAL records and what
+          {!Recovery} replays. Every state change of the heap — including
+          the compensating changes performed by a transaction rollback —
+          is expressible as a sequence of these. *)
+
 val create : unit -> t
+
+val set_logger : t -> (op -> unit) option -> unit
+(** Install (or remove) the mutation observer. The logger sees every
+    physical change in execution order, {e including} the compensating
+    ops applied while a transaction aborts — so replaying the logged
+    sequence against a copy of the starting heap reproduces the final
+    heap exactly, whatever mix of commits and aborts produced it. Used by
+    the durability layer ({!Tse_db.Durable}). *)
 
 val gen : t -> Oid.Gen.t
 (** The heap's OID generator (also used for fresh class ids by upper
@@ -76,6 +96,9 @@ val pop_journal_commit : t -> unit
 
 val pop_journal_abort : t -> unit
 (** Undo, in reverse order, every mutation recorded since the matching
-    {!push_journal}. *)
+    {!push_journal}. If an individual undo raises, the remaining entries
+    are still undone, the journal stack stays balanced, and the first
+    error is re-raised afterwards (the failed entry's change survives).
+    Guarded by the ["txn.rollback"] failpoint. *)
 
 val journal_depth : t -> int

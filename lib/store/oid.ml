@@ -20,6 +20,8 @@ module Gen = struct
     o
 
   let count g = g.count
+  let peek g = g.next
+  let advance_to g next = if next > g.next then g.next <- next
 
   let mark_used g oid =
     if oid >= g.next then begin

@@ -38,6 +38,15 @@ module Gen : sig
   val mark_used : t -> oid -> unit
   (** Inform the generator that [oid] is in use (snapshot loading), so that
       subsequent {!fresh} calls do not collide with it. *)
+
+  val peek : t -> int
+  (** The integer the next {!fresh} would return. Persisted by the WAL so
+      that a recovered database never re-issues an OID that a committed —
+      then destroyed — object once held. *)
+
+  val advance_to : t -> int -> unit
+  (** Ensure the next {!fresh} returns at least the given integer
+    (WAL replay of a {!peek} record). Never moves backwards. *)
 end
 
 module Set : Set.S with type elt = t

@@ -61,7 +61,8 @@ let to_string heap =
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
-let fail line what = failwith (Printf.sprintf "Snapshot: %s in %S" what line)
+let fail lineno line what =
+  failwith (Printf.sprintf "Snapshot: line %d: %s in %S" lineno what line)
 
 let of_string s =
   let heap = Heap.create () in
@@ -69,14 +70,15 @@ let of_string s =
   let current = ref None in
   let expect_slots = ref 0 in
   let seen_end = ref false in
-  let handle line =
+  let handle lineno line =
+    let fail what = fail lineno line what in
     if !seen_end || String.length line = 0 then ()
     else
       match String.split_on_char ' ' line with
       | [ "TSE-HEAP"; "1" ] -> ()
       | [ "gen"; _n ] -> ()
       | [ "obj"; oid_s; tag; nslots ] ->
-        if !expect_slots > 0 then fail line "previous object truncated";
+        if !expect_slots > 0 then fail "previous object truncated";
         let oid = Oid.of_int (int_of_string oid_s) in
         let oid = Heap.alloc_raw heap ~oid ~tag:(unescape tag) in
         current := Some oid;
@@ -85,38 +87,30 @@ let of_string s =
         let oid =
           match !current with
           | Some o -> o
-          | None -> fail line "slot before obj"
+          | None -> fail "slot before obj"
         in
-        if !expect_slots <= 0 then fail line "unexpected slot";
+        if !expect_slots <= 0 then fail "unexpected slot";
         let payload = String.concat " " rest in
         let v, _ = Value.decode payload 0 in
         Heap.set_slot heap oid (unescape name) v;
         expect_slots := !expect_slots - 1
       | [ "end" ] ->
-        if !expect_slots > 0 then fail line "truncated object";
+        if !expect_slots > 0 then fail "truncated object";
         seen_end := true
-      | _ -> fail line "unrecognized line"
+      | _ -> fail "unrecognized line"
   in
-  List.iter handle lines;
+  List.iteri (fun i line -> handle (i + 1) line) lines;
   if not !seen_end then failwith "Snapshot: missing end marker";
   heap
 
-let save heap path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try output_string oc (to_string heap)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+let () = Storage.declare_failpoints "snapshot"
+let save heap path = Storage.write_atomic ~fp:"snapshot" ~path (to_string heap)
 
 let load path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+  match Storage.read_file path with
+  | s -> of_string s
+  | exception Sys_error msg ->
+    failwith (Printf.sprintf "Snapshot.load %S: %s" path msg)
 
 let roundtrip_equal a b =
   let cells heap =

@@ -15,14 +15,15 @@
 val to_string : Heap.t -> string
 
 val of_string : string -> Heap.t
-(** @raise Failure on malformed input. *)
+(** @raise Failure on malformed input, naming the offending line number. *)
 
 val save : Heap.t -> string -> unit
-(** [save heap path] writes atomically (temp file + rename). *)
+(** [save heap path] writes atomically (temp file + fsync + rename),
+    guarded by the ["snapshot.*"] failpoints (see {!Storage}). *)
 
 val load : string -> Heap.t
-(** @raise Sys_error if the file cannot be read.
-    @raise Failure on malformed content. *)
+(** @raise Failure if the file cannot be read (the message names the
+    path) or on malformed content. *)
 
 val roundtrip_equal : Heap.t -> Heap.t -> bool
 (** Structural equality of two heaps (same cells, tags and slots); used by

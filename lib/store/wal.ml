@@ -1,0 +1,220 @@
+type entry =
+  | Op of Heap.op
+  | Gen of int
+  | Ext of string * string
+
+type t = { path : string; mutable fd : Unix.file_descr option }
+
+let fp_append_before = "wal.append.before"
+let fp_append_short = "wal.append.short"
+let fp_append_fsync = "wal.append.fsync"
+let fp_truncate_before = "wal.truncate.before"
+
+let () =
+  List.iter Failpoint.declare
+    [ fp_append_before; fp_append_short; fp_append_fsync; fp_truncate_before ]
+
+(* ---------- entry codec (Codec primitives + Value encoding) ---------- *)
+
+let add_oid buf o = Codec.add_int buf (Oid.to_int o)
+
+let read_oid s pos =
+  let i, pos = Codec.read_int s pos in
+  (Oid.of_int i, pos)
+
+let add_entry buf = function
+  | Op (Heap.Alloc (o, tag)) ->
+    Buffer.add_char buf 'A';
+    add_oid buf o;
+    Codec.add_str buf tag
+  | Op (Heap.Free o) ->
+    Buffer.add_char buf 'F';
+    add_oid buf o
+  | Op (Heap.Set_tag (o, tag)) ->
+    Buffer.add_char buf 'T';
+    add_oid buf o;
+    Codec.add_str buf tag
+  | Op (Heap.Set_slot (o, name, v)) ->
+    Buffer.add_char buf 'S';
+    add_oid buf o;
+    Codec.add_str buf name;
+    Value.encode buf v
+  | Op (Heap.Remove_slot (o, name)) ->
+    Buffer.add_char buf 'R';
+    add_oid buf o;
+    Codec.add_str buf name
+  | Op (Heap.Swap (a, b)) ->
+    Buffer.add_char buf 'W';
+    add_oid buf a;
+    add_oid buf b
+  | Gen n ->
+    Buffer.add_char buf 'G';
+    Codec.add_int buf n
+  | Ext (tag, payload) ->
+    Buffer.add_char buf 'X';
+    Codec.add_str buf tag;
+    Codec.add_str buf payload
+
+let read_entry s pos =
+  if pos >= String.length s then Codec.fail_at pos "eof in entry";
+  match s.[pos] with
+  | 'A' ->
+    let o, pos = read_oid s (pos + 1) in
+    let tag, pos = Codec.read_str s pos in
+    (Op (Heap.Alloc (o, tag)), pos)
+  | 'F' ->
+    let o, pos = read_oid s (pos + 1) in
+    (Op (Heap.Free o), pos)
+  | 'T' ->
+    let o, pos = read_oid s (pos + 1) in
+    let tag, pos = Codec.read_str s pos in
+    (Op (Heap.Set_tag (o, tag)), pos)
+  | 'S' ->
+    let o, pos = read_oid s (pos + 1) in
+    let name, pos = Codec.read_str s pos in
+    let v, pos = Value.decode s pos in
+    (Op (Heap.Set_slot (o, name, v)), pos)
+  | 'R' ->
+    let o, pos = read_oid s (pos + 1) in
+    let name, pos = Codec.read_str s pos in
+    (Op (Heap.Remove_slot (o, name)), pos)
+  | 'W' ->
+    let a, pos = read_oid s (pos + 1) in
+    let b, pos = read_oid s pos in
+    (Op (Heap.Swap (a, b)), pos)
+  | 'G' ->
+    let n, pos = Codec.read_int s (pos + 1) in
+    (Gen n, pos)
+  | 'X' ->
+    let tag, pos = Codec.read_str s (pos + 1) in
+    let payload, pos = Codec.read_str s pos in
+    (Ext (tag, payload), pos)
+  | c -> Codec.fail_at pos (Printf.sprintf "bad entry tag %C" c)
+
+(* ---------- record framing: u32le length, u32le crc32, payload ---------- *)
+
+let header_len = 8
+
+let put_u32le buf (v : int32) =
+  for shift = 0 to 3 do
+    Buffer.add_char buf
+      (Char.chr
+         (Int32.to_int (Int32.shift_right_logical v (shift * 8)) land 0xFF))
+  done
+
+let get_u32le s pos =
+  let b i = Int32.of_int (Char.code s.[pos + i]) in
+  Int32.logor (b 0)
+    (Int32.logor
+       (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+let encode_record ~seq entries =
+  let payload = Buffer.create 256 in
+  Codec.add_int payload seq;
+  Codec.add_list payload add_entry entries;
+  let payload = Buffer.contents payload in
+  let buf = Buffer.create (String.length payload + header_len) in
+  put_u32le buf (Int32.of_int (String.length payload));
+  put_u32le buf (Crc32.string payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ---------- appending ---------- *)
+
+let open_append ~path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  { path; fd = Some fd }
+
+let fd_exn t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> invalid_arg "Wal: log already closed"
+
+let append t ~seq entries =
+  let fd = fd_exn t in
+  Failpoint.hit fp_append_before;
+  let record = encode_record ~seq entries in
+  let len = String.length record in
+  (match Failpoint.short fp_append_short ~len with
+  | Some k ->
+    Storage.write_all fd record 0 k;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    raise (Failpoint.Crash fp_append_short)
+  | None -> Storage.write_all fd record 0 len);
+  Failpoint.hit fp_append_fsync;
+  Unix.fsync fd
+
+let reset t =
+  let fd = fd_exn t in
+  Failpoint.hit fp_truncate_before;
+  Unix.ftruncate fd 0;
+  Unix.fsync fd
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+(* ---------- scanning ---------- *)
+
+type batch = { seq : int; entries : entry list; start_off : int }
+
+type scan = {
+  batches : batch list;
+  valid_len : int;
+  file_len : int;
+  reason : string option;
+}
+
+let decode_payload payload =
+  let seq, pos = Codec.read_int payload 0 in
+  let entries, pos = Codec.read_list read_entry payload pos in
+  if pos <> String.length payload then
+    Codec.fail_at pos "trailing garbage in record";
+  (seq, entries)
+
+let scan_string s =
+  let len = String.length s in
+  let rec go acc pos =
+    if pos = len then (List.rev acc, pos, None)
+    else if pos + header_len > len then
+      (List.rev acc, pos, Some "torn record header")
+    else
+      let n = Int32.to_int (get_u32le s pos) in
+      if n < 0 || pos + header_len + n > len then
+        (List.rev acc, pos, Some "torn record body")
+      else
+        let crc = get_u32le s (pos + 4) in
+        let payload = String.sub s (pos + header_len) n in
+        if Crc32.string payload <> crc then
+          (List.rev acc, pos, Some "checksum mismatch")
+        else
+          match decode_payload payload with
+          | seq, entries ->
+            go ({ seq; entries; start_off = pos } :: acc) (pos + header_len + n)
+          | exception Codec.Corrupt (what, _) ->
+            (List.rev acc, pos, Some ("undecodable record: " ^ what))
+          | exception Failure what ->
+            (List.rev acc, pos, Some ("undecodable record: " ^ what))
+  in
+  let batches, valid_len, reason = go [] 0 in
+  { batches; valid_len; file_len = len; reason }
+
+let scan_file ~path =
+  if not (Sys.file_exists path) then
+    { batches = []; valid_len = 0; file_len = 0; reason = None }
+  else scan_string (Storage.read_file path)
+
+let truncate_file ~path n =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd n;
+      Unix.fsync fd)

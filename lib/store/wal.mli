@@ -1,0 +1,67 @@
+(** The write-ahead log: the durability substrate the paper delegates to
+    GemStone ("persistent storage, concurrency control, etc.", Section 5).
+
+    A log is a sequence of {e records}, each framed as
+
+    {v u32le payload-length | u32le crc32(payload) | payload v}
+
+    and each carrying one {e batch}: a sequence number plus the entries
+    of one atomic commit (physical heap ops, an OID-generator watermark,
+    and opaque extension entries for upper layers — schema blobs, base
+    memberships). A batch is all-or-nothing by construction: a crash
+    mid-append leaves a torn or checksum-corrupt tail record, which
+    {!scan_file} detects and reports so recovery can truncate it —
+    graceful degradation instead of refusal to open.
+
+    Appends go through [Unix] descriptors and fsync before returning, and
+    are guarded by the ["wal.append.before"], ["wal.append.short"],
+    ["wal.append.fsync"] and ["wal.truncate.before"] failpoints. *)
+
+type entry =
+  | Op of Heap.op  (** one physical heap mutation *)
+  | Gen of int  (** OID-generator watermark ({!Oid.Gen.peek}) *)
+  | Ext of string * string
+      (** upper-layer payload, opaque to the store: [(kind, blob)] *)
+
+(** {2 Appending} *)
+
+type t
+
+val open_append : path:string -> t
+(** Open (creating if needed) for appending. *)
+
+val append : t -> seq:int -> entry list -> unit
+(** Frame, checksum, write and fsync one batch. [seq] must increase
+    strictly across the life of the database (recovery uses it to skip
+    batches already folded into a checkpoint snapshot). *)
+
+val reset : t -> unit
+(** Truncate to empty (after a checkpoint folded the log into the
+    snapshot). *)
+
+val close : t -> unit
+
+(** {2 Scanning (recovery)} *)
+
+type batch = { seq : int; entries : entry list; start_off : int }
+
+type scan = {
+  batches : batch list;  (** every decodable batch, in log order *)
+  valid_len : int;  (** bytes of trustworthy prefix *)
+  file_len : int;
+  reason : string option;
+      (** why scanning stopped before [file_len], if it did *)
+}
+
+val scan_file : path:string -> scan
+(** Read and verify the log. Never raises on torn or corrupt content —
+    the bad tail is described by [reason]/[valid_len] instead. A missing
+    file is an empty log. *)
+
+val scan_string : string -> scan
+
+val truncate_file : path:string -> int -> unit
+(** Cut the log back to the trustworthy prefix. *)
+
+val encode_record : seq:int -> entry list -> string
+(** The exact bytes {!append} writes (exposed for tests). *)

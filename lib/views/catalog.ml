@@ -1,200 +1,20 @@
 module Oid = Tse_store.Oid
-module Value = Tse_store.Value
 module Heap = Tse_store.Heap
+module Codec = Tse_store.Codec
 module Snapshot = Tse_store.Snapshot
-module Prop = Tse_schema.Prop
-module Expr = Tse_schema.Expr
+module Storage = Tse_store.Storage
 module Klass = Tse_schema.Klass
+module Schema_codec = Tse_schema.Schema_codec
 module Schema_graph = Tse_schema.Schema_graph
 module Database = Tse_db.Database
 
-(* ---------- position-based primitive codecs ---------- *)
+(* Primitive and schema codecs live in Tse_store.Codec and
+   Tse_schema.Schema_codec (shared with the durability layer); this module
+   only owns the catalog container format: schema + base memberships +
+   view history + heap snapshot. *)
 
-let add_int buf i =
-  Buffer.add_string buf (string_of_int i);
-  Buffer.add_char buf ';'
-
-let add_str buf s =
-  Buffer.add_string buf (string_of_int (String.length s));
-  Buffer.add_char buf ':';
-  Buffer.add_string buf s
-
-let add_bool buf b = Buffer.add_char buf (if b then '1' else '0')
-
-let fail_at pos what = failwith (Printf.sprintf "Catalog: %s at %d" what pos)
-
-let read_int s pos =
-  let j =
-    try String.index_from s pos ';' with Not_found -> fail_at pos "unterminated int"
-  in
-  (int_of_string (String.sub s pos (j - pos)), j + 1)
-
-let read_str s pos =
-  let j =
-    try String.index_from s pos ':' with Not_found -> fail_at pos "unterminated str"
-  in
-  let n = int_of_string (String.sub s pos (j - pos)) in
-  if j + 1 + n > String.length s then fail_at pos "truncated str";
-  (String.sub s (j + 1) n, j + 1 + n)
-
-let read_bool s pos =
-  if pos >= String.length s then fail_at pos "eof";
-  match s.[pos] with
-  | '1' -> (true, pos + 1)
-  | '0' -> (false, pos + 1)
-  | c -> fail_at pos (Printf.sprintf "bad bool %C" c)
-
-let read_list read s pos =
-  let n, pos = read_int s pos in
-  let rec go acc pos k =
-    if k = 0 then (List.rev acc, pos)
-    else
-      let x, pos = read s pos in
-      go (x :: acc) pos (k - 1)
-  in
-  go [] pos n
-
-let add_list buf add xs =
-  add_int buf (List.length xs);
-  List.iter (add buf) xs
-
-(* ---------- property and derivation codecs ---------- *)
-
-let add_prop buf (p : Prop.t) =
-  add_int buf p.uid;
-  add_str buf p.name;
-  add_int buf (Oid.to_int p.origin);
-  add_bool buf p.promoted;
-  match p.body with
-  | Prop.Stored { ty; default; required } ->
-    Buffer.add_char buf 's';
-    Value.encode_ty buf ty;
-    Value.encode buf default;
-    add_bool buf required
-  | Prop.Method e ->
-    Buffer.add_char buf 'm';
-    Expr.encode buf e
-
-let read_prop s pos =
-  let uid, pos = read_int s pos in
-  let name, pos = read_str s pos in
-  let origin, pos = read_int s pos in
-  let promoted, pos = read_bool s pos in
-  if pos >= String.length s then fail_at pos "eof in prop";
-  match s.[pos] with
-  | 's' ->
-    let ty, pos = Value.decode_ty s (pos + 1) in
-    let default, pos = Value.decode s pos in
-    let required, pos = read_bool s pos in
-    ( Prop.make ~uid ~name
-        ~body:(Prop.Stored { ty; default; required })
-        ~origin:(Oid.of_int origin) ~promoted,
-      pos )
-  | 'm' ->
-    let e, pos = Expr.decode s (pos + 1) in
-    (Prop.make ~uid ~name ~body:(Prop.Method e) ~origin:(Oid.of_int origin) ~promoted, pos)
-  | c -> fail_at pos (Printf.sprintf "bad prop body %C" c)
-
-let add_cid buf cid = add_int buf (Oid.to_int cid)
-
-let read_cid s pos =
-  let i, pos = read_int s pos in
-  (Oid.of_int i, pos)
-
-let add_derivation buf = function
-  | Klass.Select (src, pred) ->
-    Buffer.add_char buf 'S';
-    add_cid buf src;
-    Expr.encode buf pred
-  | Klass.Hide (names, src) ->
-    Buffer.add_char buf 'H';
-    add_list buf add_str names;
-    add_cid buf src
-  | Klass.Refine (props, src) ->
-    Buffer.add_char buf 'R';
-    add_list buf add_prop props;
-    add_cid buf src
-  | Klass.Refine_from { src; prop_name; target } ->
-    Buffer.add_char buf 'F';
-    add_cid buf src;
-    add_str buf prop_name;
-    add_cid buf target
-  | Klass.Union (a, b) ->
-    Buffer.add_char buf 'U';
-    add_cid buf a;
-    add_cid buf b
-  | Klass.Intersect (a, b) ->
-    Buffer.add_char buf 'N';
-    add_cid buf a;
-    add_cid buf b
-  | Klass.Difference (a, b) ->
-    Buffer.add_char buf 'D';
-    add_cid buf a;
-    add_cid buf b
-
-let read_derivation s pos =
-  if pos >= String.length s then fail_at pos "eof in derivation";
-  match s.[pos] with
-  | 'S' ->
-    let src, pos = read_cid s (pos + 1) in
-    let pred, pos = Expr.decode s pos in
-    (Klass.Select (src, pred), pos)
-  | 'H' ->
-    let names, pos = read_list (fun s pos -> read_str s pos) s (pos + 1) in
-    let src, pos = read_cid s pos in
-    (Klass.Hide (names, src), pos)
-  | 'R' ->
-    let props, pos = read_list read_prop s (pos + 1) in
-    let src, pos = read_cid s pos in
-    (Klass.Refine (props, src), pos)
-  | 'F' ->
-    let src, pos = read_cid s (pos + 1) in
-    let prop_name, pos = read_str s pos in
-    let target, pos = read_cid s pos in
-    (Klass.Refine_from { src; prop_name; target }, pos)
-  | 'U' ->
-    let a, pos = read_cid s (pos + 1) in
-    let b, pos = read_cid s pos in
-    (Klass.Union (a, b), pos)
-  | 'N' ->
-    let a, pos = read_cid s (pos + 1) in
-    let b, pos = read_cid s pos in
-    (Klass.Intersect (a, b), pos)
-  | 'D' ->
-    let a, pos = read_cid s (pos + 1) in
-    let b, pos = read_cid s pos in
-    (Klass.Difference (a, b), pos)
-  | c -> fail_at pos (Printf.sprintf "bad derivation tag %C" c)
-
-(* ---------- schema blob ---------- *)
-
-let add_class buf (k : Klass.t) =
-  add_cid buf k.cid;
-  add_str buf k.name;
-  (match k.kind with
-  | Klass.Base -> Buffer.add_char buf 'B'
-  | Klass.Virtual d ->
-    Buffer.add_char buf 'V';
-    add_derivation buf d);
-  add_list buf add_cid k.supers;
-  add_list buf add_prop k.local_props
-
-let read_class s pos =
-  let cid, pos = read_cid s pos in
-  let name, pos = read_str s pos in
-  if pos >= String.length s then fail_at pos "eof in class";
-  let kind, pos =
-    match s.[pos] with
-    | 'B' -> (Klass.Base, pos + 1)
-    | 'V' ->
-      let d, pos = read_derivation s (pos + 1) in
-      (Klass.Virtual d, pos)
-    | c -> fail_at pos (Printf.sprintf "bad kind %C" c)
-  in
-  let supers, pos = read_list read_cid s pos in
-  let props, pos = read_list read_prop s pos in
-  ( { Klass.cid; name; kind; local_props = props; supers; subs = [] },
-    pos )
+let add_cid = Schema_codec.add_cid
+let read_cid = Schema_codec.read_cid
 
 let schema_blob db history =
   let buf = Buffer.create 4096 in
@@ -204,34 +24,33 @@ let schema_blob db history =
     Schema_graph.classes graph
     |> List.sort (fun (a : Klass.t) b -> Oid.compare a.cid b.cid)
   in
-  add_list buf add_class classes;
+  Codec.add_list buf Schema_codec.add_class classes;
   (* per-object explicit base memberships *)
   let bases =
-    List.map (fun o -> (o, Oid.Set.elements (Database.base_membership db o)))
+    List.map
+      (fun o -> (o, Oid.Set.elements (Database.base_membership db o)))
       (List.sort Oid.compare (Database.objects db))
   in
-  add_list buf
+  Codec.add_list buf
     (fun buf (o, cids) ->
       add_cid buf o;
-      add_list buf add_cid cids)
+      Codec.add_list buf add_cid cids)
     bases;
   (* view history *)
   let views =
     match history with
     | None -> []
     | Some h ->
-      List.concat_map
-        (fun name -> History.versions h name)
-        (History.view_names h)
+      List.concat_map (fun name -> History.versions h name) (History.view_names h)
   in
-  add_list buf
+  Codec.add_list buf
     (fun buf (v : View_schema.t) ->
-      add_str buf v.view_name;
-      add_int buf v.version;
-      add_list buf
+      Codec.add_str buf v.view_name;
+      Codec.add_int buf v.version;
+      Codec.add_list buf
         (fun buf (cid, lname) ->
           add_cid buf cid;
-          add_str buf lname)
+          Codec.add_str buf lname)
         v.members)
     views;
   Buffer.contents buf
@@ -273,61 +92,58 @@ let of_string text =
       (rest + String.length heap_marker)
       (String.length text - rest - String.length heap_marker)
   in
-  (* heap first: it owns the OID generator *)
-  let heap = Snapshot.of_string heap_text in
-  let pos = 0 in
-  let root, pos = read_cid blob pos in
-  let graph = Schema_graph.restore_empty ~gen:(Heap.gen heap) ~root in
-  let classes, pos = read_list read_class blob pos in
-  List.iter (Schema_graph.install graph) classes;
-  Schema_graph.relink_subs graph;
-  let bases, pos =
-    read_list
-      (fun s pos ->
-        let o, pos = read_cid s pos in
-        let cids, pos = read_list read_cid s pos in
-        ((o, cids), pos))
-      blob pos
-  in
-  let db = Database.restore ~heap ~graph ~bases in
-  List.iter (fun (k : Klass.t) -> Database.note_new_class db k.cid) classes;
-  let views, _pos =
-    read_list
-      (fun s pos ->
-        let name, pos = read_str s pos in
-        let version, pos = read_int s pos in
-        let members, pos =
-          read_list
-            (fun s pos ->
-              let cid, pos = read_cid s pos in
-              let lname, pos = read_str s pos in
-              ((cid, lname), pos))
-            s pos
-        in
-        ({ View_schema.view_name = name; version; members }, pos))
-      blob pos
-  in
-  let history = History.create () in
-  List.iter
-    (fun (v : View_schema.t) -> History.register history v)
-    (List.sort
-       (fun (a : View_schema.t) b -> Int.compare a.version b.version)
-       views);
-  (db, history)
+  try
+    (* heap first: it owns the OID generator *)
+    let heap = Snapshot.of_string heap_text in
+    let pos = 0 in
+    let root, pos = read_cid blob pos in
+    let graph = Schema_graph.restore_empty ~gen:(Heap.gen heap) ~root in
+    let classes, pos = Codec.read_list Schema_codec.read_class blob pos in
+    List.iter (Schema_graph.install graph) classes;
+    Schema_graph.relink_subs graph;
+    let bases, pos =
+      Codec.read_list
+        (fun s pos ->
+          let o, pos = read_cid s pos in
+          let cids, pos = Codec.read_list read_cid s pos in
+          ((o, cids), pos))
+        blob pos
+    in
+    let db = Database.restore ~heap ~graph ~bases in
+    List.iter (fun (k : Klass.t) -> Database.note_new_class db k.cid) classes;
+    let views, _pos =
+      Codec.read_list
+        (fun s pos ->
+          let name, pos = Codec.read_str s pos in
+          let version, pos = Codec.read_int s pos in
+          let members, pos =
+            Codec.read_list
+              (fun s pos ->
+                let cid, pos = read_cid s pos in
+                let lname, pos = Codec.read_str s pos in
+                ((cid, lname), pos))
+              s pos
+          in
+          ({ View_schema.view_name = name; version; members }, pos))
+        blob pos
+    in
+    let history = History.create () in
+    List.iter
+      (fun (v : View_schema.t) -> History.register history v)
+      (List.sort
+         (fun (a : View_schema.t) b -> Int.compare a.version b.version)
+         views);
+    (db, history)
+  with Codec.Corrupt (what, pos) ->
+    failwith (Printf.sprintf "Catalog: %s at %d" what pos)
+
+let () = Storage.declare_failpoints "catalog"
 
 let save ?history db path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try output_string oc (to_string ?history db)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+  Storage.write_atomic ~fp:"catalog" ~path (to_string ?history db)
 
 let load path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+  match Storage.read_file path with
+  | s -> of_string s
+  | exception Sys_error msg ->
+    failwith (Printf.sprintf "Catalog.load %S: %s" path msg)

@@ -127,6 +127,67 @@ let test_sessions_across_schema_change () =
   | Ok () -> Alcotest.fail "expected conflict across the schema change"
   | Error _ -> ()
 
+let test_retry_first_attempt () =
+  let u, occ, o = fixture () in
+  let v, attempt =
+    Occ.commit_with_retry occ (fun s ->
+        let age = Occ.read s o "age" in
+        Occ.write s o "age" (Value.Int 21);
+        age)
+  in
+  check vpp "body result returned" (Value.Int 20) v;
+  check Alcotest.int "no conflicts" 1 attempt;
+  check vpp "write applied" (Value.Int 21) (Database.get_prop u.db o "age")
+
+let test_retry_after_conflict () =
+  let u, occ, o = fixture () in
+  let tries = ref 0 in
+  let v, attempt =
+    Occ.commit_with_retry ~backoff:0. occ (fun s ->
+        incr tries;
+        let age = Occ.read s o "age" in
+        (* a rival commits between our read and our commit — once *)
+        if !tries = 1 then Database.set_attr u.db o "age" (Value.Int 50);
+        Occ.write s o "name" (Value.String "eve");
+        age)
+  in
+  check Alcotest.int "committed on the retry" 2 attempt;
+  (* the retry re-read through a fresh session and saw the rival's write *)
+  check vpp "fresh read on retry" (Value.Int 50) v;
+  check vpp "write applied" (Value.String "eve")
+    (Database.get_prop u.db o "name")
+
+let test_retry_gives_up () =
+  let u, occ, o = fixture () in
+  let tries = ref 0 in
+  (try
+     ignore
+       (Occ.commit_with_retry ~attempts:3 ~backoff:0. occ (fun s ->
+            incr tries;
+            ignore (Occ.read s o "age");
+            (* every attempt loses the race *)
+            Database.set_attr u.db o "age" (Value.Int (100 + !tries));
+            Occ.write s o "name" (Value.String "never")));
+     Alcotest.fail "expected Too_many_conflicts"
+   with Occ.Too_many_conflicts { objects } ->
+     check Alcotest.int "conflicting object reported" 1 (List.length objects));
+  check Alcotest.int "bounded attempts" 3 !tries;
+  check vpp "no attempt's write leaked" (Value.String "ada")
+    (Database.get_prop u.db o "name")
+
+let test_retry_propagates_exceptions () =
+  let _u, occ, o = fixture () in
+  let tries = ref 0 in
+  (try
+     ignore
+       (Occ.commit_with_retry occ (fun s ->
+            incr tries;
+            ignore (Occ.read s o "age");
+            failwith "body blew up"));
+     Alcotest.fail "expected the body's exception"
+   with Failure m -> check Alcotest.string "original exception" "body blew up" m);
+  check Alcotest.int "no retry on exception" 1 !tries
+
 let suite =
   [
     Alcotest.test_case "commit applies buffered writes" `Quick
@@ -142,4 +203,11 @@ let suite =
     Alcotest.test_case "write skew excluded" `Quick test_write_skew_excluded;
     Alcotest.test_case "conflicts across schema evolution" `Quick
       test_sessions_across_schema_change;
+    Alcotest.test_case "retry: clean first attempt" `Quick
+      test_retry_first_attempt;
+    Alcotest.test_case "retry: succeeds after conflict" `Quick
+      test_retry_after_conflict;
+    Alcotest.test_case "retry: bounded attempts" `Quick test_retry_gives_up;
+    Alcotest.test_case "retry: exceptions propagate" `Quick
+      test_retry_propagates_exceptions;
   ]

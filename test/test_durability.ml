@@ -1,0 +1,504 @@
+(* Tests for the durability layer: WAL framing and scanning, recovery
+   replay, durable open/commit/checkpoint, and the fault-injection crash
+   matrix that kills writes at every declared failpoint and proves the
+   store reopens consistent. *)
+
+open Tse_store
+module Prop = Tse_schema.Prop
+module Schema_graph = Tse_schema.Schema_graph
+module Schema_codec = Tse_schema.Schema_codec
+module Database = Tse_db.Database
+module Durable = Tse_db.Durable
+
+let check = Alcotest.check
+
+(* ---------------- helpers ---------------- *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tse_durable_%d_%d" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end;
+    dir
+
+(* A deterministic image of everything durability must preserve: the
+   schema, the explicit base memberships, and the physical heap. *)
+let fingerprint db =
+  let bases =
+    List.map
+      (fun o ->
+        Oid.to_string o ^ ":"
+        ^ String.concat ","
+            (List.map Oid.to_string
+               (Oid.Set.elements (Database.base_membership db o))))
+      (List.sort Oid.compare (Database.objects db))
+  in
+  Schema_codec.encode_graph (Database.graph db)
+  ^ "\n--\n" ^ String.concat ";" bases ^ "\n--\n"
+  ^ Snapshot.to_string (Database.heap db)
+
+let stored = Prop.stored ~origin:(Oid.of_int 0)
+
+let reg db name props supers =
+  let cid = Schema_graph.register_base (Database.graph db) ~name ~props ~supers in
+  Database.note_new_class db cid;
+  cid
+
+(* Person <- Student plus one person, one student. *)
+let build_small db =
+  let person =
+    reg db "Person" [ stored "name" Value.TString; stored "age" Value.TInt ] []
+  in
+  let student = reg db "Student" [ stored "gpa" Value.TFloat ] [ person ] in
+  let o1 =
+    Database.create_object db person
+      ~init:[ ("name", Value.String "ann"); ("age", Value.Int 30) ]
+  in
+  let o2 =
+    Database.create_object db student
+      ~init:[ ("name", Value.String "bob"); ("gpa", Value.Float 3.5) ]
+  in
+  (person, student, o1, o2)
+
+let assert_consistent what db =
+  match Database.check db with
+  | [] -> ()
+  | problems -> Alcotest.failf "%s: inconsistent: %s" what (String.concat "; " problems)
+
+(* ---------------- WAL framing ---------------- *)
+
+let sample_records () =
+  let o = Oid.of_int 1 in
+  let r1 =
+    Wal.encode_record ~seq:1
+      [
+        Wal.Op (Heap.Alloc (o, "T"));
+        Wal.Op (Heap.Set_slot (o, "x", Value.Int 7));
+        Wal.Op (Heap.Set_tag (o, "U"));
+        Wal.Gen 5;
+        Wal.Ext ("schema", "opaque blob \n with newline");
+      ]
+  in
+  let r2 =
+    Wal.encode_record ~seq:2
+      [ Wal.Op (Heap.Remove_slot (o, "x")); Wal.Op (Heap.Free o) ]
+  in
+  (r1, r2)
+
+let test_wal_scan_roundtrip () =
+  let r1, r2 = sample_records () in
+  let scan = Wal.scan_string (r1 ^ r2) in
+  check Alcotest.int "two batches" 2 (List.length scan.Wal.batches);
+  Alcotest.(check (option string)) "clean tail" None scan.Wal.reason;
+  check Alcotest.int "all bytes valid"
+    (String.length r1 + String.length r2)
+    scan.Wal.valid_len;
+  check (Alcotest.list Alcotest.int) "seqs" [ 1; 2 ]
+    (List.map (fun b -> b.Wal.seq) scan.Wal.batches);
+  (* re-encoding every decoded batch reproduces the exact bytes *)
+  let reencoded =
+    String.concat ""
+      (List.map
+         (fun b -> Wal.encode_record ~seq:b.Wal.seq b.Wal.entries)
+         scan.Wal.batches)
+  in
+  check Alcotest.string "decode/encode identity" (r1 ^ r2) reencoded
+
+let test_wal_torn_tail () =
+  let r1, r2 = sample_records () in
+  let torn = r1 ^ String.sub r2 0 (String.length r2 - 3) in
+  let scan = Wal.scan_string torn in
+  check Alcotest.int "only the whole record survives" 1
+    (List.length scan.Wal.batches);
+  check Alcotest.int "valid prefix ends at record boundary"
+    (String.length r1) scan.Wal.valid_len;
+  Alcotest.(check bool) "has a reason" true (scan.Wal.reason <> None);
+  (* a tail torn inside the header is reported too *)
+  let torn_header = r1 ^ String.sub r2 0 3 in
+  let scan = Wal.scan_string torn_header in
+  check Alcotest.int "torn header: record dropped" 1
+    (List.length scan.Wal.batches);
+  check Alcotest.int "torn header: valid prefix" (String.length r1)
+    scan.Wal.valid_len
+
+let test_wal_checksum_corruption () =
+  let r1, r2 = sample_records () in
+  let s = Bytes.of_string (r1 ^ r2) in
+  (* flip a byte inside the second record's payload *)
+  let pos = String.length r1 + 8 + 1 in
+  Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor 0xff));
+  let scan = Wal.scan_string (Bytes.to_string s) in
+  check Alcotest.int "corrupt record dropped" 1 (List.length scan.Wal.batches);
+  Alcotest.(check (option string)) "checksum mismatch detected"
+    (Some "checksum mismatch") scan.Wal.reason;
+  check Alcotest.int "valid prefix" (String.length r1) scan.Wal.valid_len
+
+let test_wal_truncate_file () =
+  let r1, r2 = sample_records () in
+  let path = Filename.temp_file "tse_wal" ".log" in
+  let oc = open_out_bin path in
+  output_string oc (r1 ^ String.sub r2 0 (String.length r2 - 1));
+  close_out oc;
+  let scan = Wal.scan_file ~path in
+  Alcotest.(check bool) "dirty" true (scan.Wal.reason <> None);
+  Wal.truncate_file ~path scan.Wal.valid_len;
+  let scan = Wal.scan_file ~path in
+  Alcotest.(check (option string)) "clean after truncation" None scan.Wal.reason;
+  check Alcotest.int "file cut back" (String.length r1) scan.Wal.file_len;
+  Sys.remove path
+
+(* ---------------- durable open/commit/reopen ---------------- *)
+
+let test_durable_roundtrip () =
+  let dir = fresh_dir () in
+  let d, _ = Durable.open_dir ~dir in
+  let db = Durable.db d in
+  let _, student, o1, _ = build_small db in
+  Database.set_attr db o1 "age" (Value.Int 31);
+  Durable.commit d;
+  let fp = fingerprint db in
+  Durable.close d;
+  let d2, report = Durable.open_dir ~dir in
+  let db2 = Durable.db d2 in
+  check Alcotest.int "one batch replayed" 1 report.Recovery.batches_applied;
+  Alcotest.(check bool) "entries replayed" true
+    (report.Recovery.entries_applied > 0);
+  check Alcotest.string "state identical" fp (fingerprint db2);
+  assert_consistent "reopened" db2;
+  check Alcotest.int "student extent survived" 1
+    (Database.extent_size db2 student);
+  Durable.close d2
+
+let test_durable_uncommitted_lost () =
+  let dir = fresh_dir () in
+  let d, _ = Durable.open_dir ~dir in
+  let db = Durable.db d in
+  let person, _, o1, _ = build_small db in
+  Durable.commit d;
+  let committed = fingerprint db in
+  (* changes after the last commit must not survive a crash *)
+  Database.set_attr db o1 "age" (Value.Int 99);
+  ignore (Database.create_object db person ~init:[ ("age", Value.Int 1) ]);
+  (* simulate the crash: abandon the handle without closing *)
+  let d2, _ = Durable.open_dir ~dir in
+  check Alcotest.string "only the committed state survives" committed
+    (fingerprint (Durable.db d2));
+  assert_consistent "reopened" (Durable.db d2);
+  Durable.close d2
+
+let test_durable_incremental_commits () =
+  let dir = fresh_dir () in
+  let d, _ = Durable.open_dir ~dir in
+  let db = Durable.db d in
+  let person, student, o1, o2 = build_small db in
+  Durable.commit d;
+  (* second commit: schema growth + membership changes + a destroy *)
+  let staff = reg db "Staff" [ stored "salary" Value.TInt ] [ person ] in
+  Database.add_base_membership db o1 staff;
+  Database.set_attr db o1 "salary" (Value.Int 100);
+  Database.destroy_object db o2;
+  Durable.commit d;
+  let fp = fingerprint db in
+  Durable.close d;
+  let d2, report = Durable.open_dir ~dir in
+  let db2 = Durable.db d2 in
+  check Alcotest.int "two batches" 2 report.Recovery.batches_applied;
+  check Alcotest.string "state identical" fp (fingerprint db2);
+  assert_consistent "reopened" db2;
+  Alcotest.(check bool) "destroyed object stays gone" false
+    (Database.mem_object db2 o2);
+  Alcotest.(check bool) "added membership survives" true
+    (Oid.Set.mem staff (Database.base_membership db2 o1));
+  check Alcotest.int "staff extent" 1 (Database.extent_size db2 staff);
+  Alcotest.(check bool) "schema class survives" true
+    (Schema_graph.find_by_name (Database.graph db2) "Staff" <> None);
+  (* fresh OIDs must not collide with replayed ones *)
+  let o3 = Database.create_object db2 person ~init:[] in
+  Alcotest.(check bool) "no oid collision" true
+    (List.for_all (fun o -> not (Oid.equal o o3)) [ o1; o2 ]);
+  check Alcotest.int "student extent after destroy" 0
+    (Database.extent_size db2 student);
+  Durable.close d2
+
+let test_durable_rollback_ops_replay () =
+  let dir = fresh_dir () in
+  let d, _ = Durable.open_dir ~dir in
+  let db = Durable.db d in
+  let heap = Database.heap db in
+  let _, _, o1, _ = build_small db in
+  Durable.commit d;
+  let fp = fingerprint db in
+  (* an aborted transaction's compensating ops are logged too, so the
+     replayed heap lands exactly where the live one did *)
+  let r =
+    Txn.with_txn heap (fun () ->
+        Database.set_attr db o1 "age" (Value.Int 77);
+        raise Txn.Abort)
+  in
+  Alcotest.(check bool) "txn aborted" true (r = None);
+  Durable.commit d;
+  Durable.close d;
+  let d2, report = Durable.open_dir ~dir in
+  Alcotest.(check bool) "do+undo ops were logged" true
+    (report.Recovery.batches_applied >= 2);
+  check Alcotest.string "aborted txn leaves no durable trace" fp
+    (fingerprint (Durable.db d2));
+  assert_consistent "reopened" (Durable.db d2);
+  Durable.close d2
+
+let test_durable_checkpoint () =
+  let dir = fresh_dir () in
+  let d, _ = Durable.open_dir ~dir in
+  let db = Durable.db d in
+  let person, _, o1, _ = build_small db in
+  Durable.commit d;
+  Durable.checkpoint d;
+  check Alcotest.int "log folded away" 0
+    (Unix.stat (Filename.concat dir "wal")).Unix.st_size;
+  (* keep writing after the checkpoint *)
+  Database.set_attr db o1 "age" (Value.Int 44);
+  ignore (Database.create_object db person ~init:[ ("age", Value.Int 9) ]);
+  Durable.commit d;
+  let fp = fingerprint db in
+  Durable.close d;
+  let d2, report = Durable.open_dir ~dir in
+  check Alcotest.int "only the post-checkpoint batch replays" 1
+    report.Recovery.batches_applied;
+  check Alcotest.string "snapshot + tail = full state" fp
+    (fingerprint (Durable.db d2));
+  assert_consistent "reopened" (Durable.db d2);
+  Durable.close d2
+
+let test_durable_empty_commit_writes_nothing () =
+  let dir = fresh_dir () in
+  let d, _ = Durable.open_dir ~dir in
+  ignore (build_small (Durable.db d));
+  Durable.commit d;
+  let size () = (Unix.stat (Filename.concat dir "wal")).Unix.st_size in
+  let before = size () in
+  Durable.commit d;
+  Durable.commit d;
+  check Alcotest.int "no-change commits append nothing" before (size ());
+  Durable.close d
+
+(* ---------------- crash matrix ---------------- *)
+
+(* Which state must survive a crash at the failpoint: the commit the
+   fault interrupts (Pre = it is lost, Post = it is durable). Faults in
+   the checkpoint path are always Post: the data was committed to the log
+   before the snapshot write begins. *)
+type expect = Pre | Post
+
+let commit_cases =
+  [
+    ("wal.append.before", Failpoint.Crash_now, Pre);
+    ("wal.append.short", Failpoint.Short_write 5, Pre);
+    ("wal.append.fsync", Failpoint.Crash_now, Post);
+  ]
+
+let checkpoint_cases =
+  [
+    ("checkpoint.write.before", Failpoint.Crash_now);
+    ("checkpoint.write.short", Failpoint.Short_write 7);
+    ("checkpoint.fsync", Failpoint.Crash_now);
+    ("checkpoint.rename.before", Failpoint.Crash_now);
+    ("checkpoint.rename.after", Failpoint.Crash_now);
+    ("wal.truncate.before", Failpoint.Crash_now);
+  ]
+
+let run_crash_case ~name ~action ~expect ~op =
+  let dir = fresh_dir () in
+  let d, _ = Durable.open_dir ~dir in
+  let db = Durable.db d in
+  let _, _, o1, _ = build_small db in
+  Durable.commit d;
+  let pre = fingerprint db in
+  Database.set_attr db o1 "age" (Value.Int 99);
+  let post = fingerprint db in
+  Failpoint.arm name action;
+  (try
+     op d;
+     Alcotest.failf "%s: expected a crash" name
+   with Failpoint.Crash _ -> ());
+  Failpoint.reset ();
+  (* the process "died": reopen from disk *)
+  let d2, report = Durable.open_dir ~dir in
+  let db2 = Durable.db d2 in
+  check Alcotest.string
+    (Printf.sprintf "%s: recovered state" name)
+    (match expect with Pre -> pre | Post -> post)
+    (fingerprint db2);
+  assert_consistent name db2;
+  (* and the reopened store must still accept and persist new work *)
+  Database.set_attr db2 o1 "name" (Value.String "carol");
+  Durable.commit d2;
+  let final = fingerprint db2 in
+  Durable.close d2;
+  let d3, _ = Durable.open_dir ~dir in
+  check Alcotest.string
+    (Printf.sprintf "%s: writable after recovery" name)
+    final
+    (fingerprint (Durable.db d3));
+  Durable.close d3;
+  report
+
+let test_crash_matrix_commit () =
+  List.iter
+    (fun (name, action, expect) ->
+      let report =
+        run_crash_case ~name ~action ~expect ~op:Durable.commit
+      in
+      if expect = Pre && action <> Failpoint.Crash_now then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: torn bytes dropped" name)
+          true
+          (report.Recovery.dropped_bytes > 0))
+    commit_cases
+
+let test_crash_matrix_checkpoint () =
+  List.iter
+    (fun (name, action) ->
+      let report =
+        run_crash_case ~name ~action ~expect:Post ~op:(fun d ->
+            Durable.commit d;
+            Durable.checkpoint d)
+      in
+      (* a crash after the snapshot rename but before the log reset must
+         make replay skip the already-folded batches *)
+      if String.equal name "checkpoint.rename.after" then
+        Alcotest.(check bool) "replay skips checkpointed batches" true
+          (report.Recovery.batches_skipped > 0))
+    checkpoint_cases
+
+(* Crashes inside [Storage.write_atomic] users outside the durable path:
+   the target file must hold either the old or the new image, never a
+   mix, with the rename the commit point. *)
+let atomic_write_cases prefix =
+  [
+    (prefix ^ ".write.before", Failpoint.Crash_now, false);
+    (prefix ^ ".write.short", Failpoint.Short_write 4, false);
+    (prefix ^ ".fsync", Failpoint.Crash_now, false);
+    (prefix ^ ".rename.before", Failpoint.Crash_now, false);
+    (prefix ^ ".rename.after", Failpoint.Crash_now, true);
+  ]
+
+let test_atomic_write_crashes () =
+  List.iter
+    (fun prefix ->
+      let path = Filename.temp_file "tse_atomic" ".dat" in
+      List.iter
+        (fun (name, action, expect_new) ->
+          Storage.write_atomic ~fp:prefix ~path "old image";
+          Failpoint.arm name action;
+          (try
+             Storage.write_atomic ~fp:prefix ~path "new image";
+             Alcotest.failf "%s: expected a crash" name
+           with Failpoint.Crash _ -> ());
+          Failpoint.reset ();
+          check Alcotest.string name
+            (if expect_new then "new image" else "old image")
+            (Storage.read_file path))
+        (atomic_write_cases prefix);
+      Sys.remove path)
+    [ "snapshot"; "catalog" ]
+
+(* The matrix above, the atomic-write sweep, and the rollback test in
+   test_store must together exercise every failpoint the code declares —
+   a new failpoint without crash coverage fails here. *)
+let test_matrix_covers_every_failpoint () =
+  let covered =
+    List.map (fun (n, _, _) -> n) commit_cases
+    @ List.map (fun (n, _) -> n) checkpoint_cases
+    @ List.concat_map
+        (fun p -> List.map (fun (n, _, _) -> n) (atomic_write_cases p))
+        [ "snapshot"; "catalog" ]
+    @ [ "txn.rollback" (* exercised in test_store *) ]
+    @ List.map (fun (n, _, _) -> n) (atomic_write_cases "checkpoint")
+  in
+  check
+    Alcotest.(list string)
+    "every declared failpoint has crash coverage" (Failpoint.all ())
+    (List.sort_uniq compare covered)
+
+(* ---------------- random corruption property ---------------- *)
+
+(* Any single corrupted byte in the log must leave the store openable,
+   consistent, and exactly at one of the states the commit sequence went
+   through (a prefix of history — never a crash, never an invented
+   state). *)
+let prop_wal_corruption =
+  let dir = fresh_dir () in
+  let d, _ = Durable.open_dir ~dir in
+  let db = Durable.db d in
+  let states = ref [ fingerprint db ] in
+  let snap () = states := fingerprint db :: !states in
+  let person, _, o1, o2 = build_small db in
+  Durable.commit d;
+  snap ();
+  Database.set_attr db o1 "age" (Value.Int 41);
+  let staff = reg db "Staff" [ stored "salary" Value.TInt ] [ person ] in
+  Database.add_base_membership db o1 staff;
+  Durable.commit d;
+  snap ();
+  Database.destroy_object db o2;
+  Database.set_attr db o1 "salary" (Value.Int 7);
+  Durable.commit d;
+  snap ();
+  Durable.close d;
+  let wal = Storage.read_file (Filename.concat dir "wal") in
+  let states = !states in
+  QCheck.Test.make ~name:"single-byte WAL corruption never breaks recovery"
+    ~count:150
+    QCheck.(pair (int_bound (String.length wal - 1)) (int_bound 255))
+    (fun (off, byte) ->
+      let corrupted = Bytes.of_string wal in
+      Bytes.set corrupted off (Char.chr byte);
+      let cdir = fresh_dir () in
+      Unix.mkdir cdir 0o755;
+      let oc = open_out_bin (Filename.concat cdir "wal") in
+      output_bytes oc corrupted;
+      close_out oc;
+      let d, _ = Durable.open_dir ~dir:cdir in
+      let db = Durable.db d in
+      let fp = fingerprint db in
+      let ok = Database.check db = [] && List.mem fp states in
+      Durable.close d;
+      ok)
+
+let suite =
+  [
+    Alcotest.test_case "wal scan roundtrip" `Quick test_wal_scan_roundtrip;
+    Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail;
+    Alcotest.test_case "wal checksum corruption" `Quick
+      test_wal_checksum_corruption;
+    Alcotest.test_case "wal truncate file" `Quick test_wal_truncate_file;
+    Alcotest.test_case "durable roundtrip" `Quick test_durable_roundtrip;
+    Alcotest.test_case "uncommitted changes lost" `Quick
+      test_durable_uncommitted_lost;
+    Alcotest.test_case "incremental commits" `Quick
+      test_durable_incremental_commits;
+    Alcotest.test_case "aborted txn replay" `Quick
+      test_durable_rollback_ops_replay;
+    Alcotest.test_case "checkpoint" `Quick test_durable_checkpoint;
+    Alcotest.test_case "empty commit writes nothing" `Quick
+      test_durable_empty_commit_writes_nothing;
+    Alcotest.test_case "crash matrix: commit path" `Quick
+      test_crash_matrix_commit;
+    Alcotest.test_case "crash matrix: checkpoint path" `Quick
+      test_crash_matrix_checkpoint;
+    Alcotest.test_case "crash matrix: atomic writes" `Quick
+      test_atomic_write_crashes;
+    Alcotest.test_case "crash matrix covers every failpoint" `Quick
+      test_matrix_covers_every_failpoint;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_wal_corruption ]

@@ -19,4 +19,5 @@ let () =
       ("macros", Test_macros.suite);
       ("query", Test_query.suite);
       ("concurrency", Test_concurrency.suite);
+      ("durability", Test_durability.suite);
     ]

@@ -115,6 +115,72 @@ let test_txn_commit_and_nesting () =
   ignore (Txn.with_txn h (fun () -> Heap.set_slot h o "v" (Value.Int 5)));
   check vpp "commit sticks" (Value.Int 5) (Heap.get_slot h o "v")
 
+let test_txn_inner_abort_outer_commit () =
+  let h = Heap.create () in
+  let o = Heap.alloc_with h ~tag:"O" [ ("a", Value.Int 0) ] in
+  let r =
+    Txn.with_txn h (fun () ->
+        Heap.set_slot h o "a" (Value.Int 1);
+        (* inner abort must roll back only its own changes *)
+        let inner =
+          Txn.with_txn h (fun () ->
+              Heap.set_slot h o "b" (Value.Int 2);
+              Heap.set_tag h o "Rolled";
+              raise Txn.Abort)
+        in
+        Alcotest.(check bool) "inner aborted" true (inner = None);
+        Heap.set_slot h o "c" (Value.Int 3);
+        ())
+  in
+  Alcotest.(check bool) "outer committed" true (r = Some ());
+  check vpp "outer write before inner" (Value.Int 1) (Heap.get_slot h o "a");
+  check vpp "inner write undone" Value.Null (Heap.get_slot h o "b");
+  check Alcotest.string "inner tag change undone" "O" (Heap.tag_of h o);
+  check vpp "outer write after inner" (Value.Int 3) (Heap.get_slot h o "c");
+  check Alcotest.int "journals closed" 0 (Heap.journal_depth h)
+
+let test_txn_rollback_restores_slots_and_tag () =
+  let h = Heap.create () in
+  let o =
+    Heap.alloc_with h ~tag:"Person"
+      [ ("name", Value.String "ann"); ("age", Value.Int 30) ]
+  in
+  let r =
+    Txn.with_txn h (fun () ->
+        Heap.set_tag h o "Student";
+        Heap.set_slot h o "age" (Value.Int 31);
+        Heap.remove_slot h o "name";
+        Heap.set_slot h o "gpa" (Value.Float 3.5);
+        raise Txn.Abort)
+  in
+  Alcotest.(check bool) "aborted" true (r = None);
+  check Alcotest.string "tag restored" "Person" (Heap.tag_of h o);
+  check vpp "overwritten slot restored" (Value.Int 30) (Heap.get_slot h o "age");
+  check vpp "removed slot restored" (Value.String "ann")
+    (Heap.get_slot h o "name");
+  check vpp "added slot gone" Value.Null (Heap.get_slot h o "gpa")
+
+let test_txn_rollback_exception () =
+  let h = Heap.create () in
+  let o = Heap.alloc_with h ~tag:"O" [ ("a", Value.Int 1) ] in
+  (* the first undo (of the newest entry) faults; the rest of the
+     rollback must still run, the journal stack must stay balanced, and
+     the error must surface *)
+  Failpoint.arm "txn.rollback" Failpoint.Error_now;
+  (try
+     ignore
+       (Txn.with_txn h (fun () ->
+            Heap.set_slot h o "a" (Value.Int 2);
+            Heap.set_slot h o "b" (Value.Int 3);
+            raise Txn.Abort));
+     Alcotest.fail "expected the rollback error to propagate"
+   with Failpoint.Io_error _ -> ());
+  Failpoint.reset ();
+  check Alcotest.int "journals closed" 0 (Heap.journal_depth h);
+  check vpp "older entry still undone" (Value.Int 1) (Heap.get_slot h o "a");
+  check vpp "faulted entry's change survives" (Value.Int 3)
+    (Heap.get_slot h o "b")
+
 let test_index () =
   let idx = Index.create () in
   let o1 = Oid.of_int 1 and o2 = Oid.of_int 2 in
@@ -160,7 +226,25 @@ let test_snapshot_file () =
 
 let test_snapshot_malformed () =
   Alcotest.check_raises "missing end" (Failure "Snapshot: missing end marker")
-    (fun () -> ignore (Snapshot.of_string "TSE-HEAP 1\ngen 3\n"))
+    (fun () -> ignore (Snapshot.of_string "TSE-HEAP 1\ngen 3\n"));
+  (* parse errors carry the line number and the offending line *)
+  Alcotest.check_raises "bad line is located"
+    (Failure "Snapshot: line 3: unrecognized line in \"cell nonsense\"")
+    (fun () ->
+      ignore (Snapshot.of_string "TSE-HEAP 1\ngen 3\ncell nonsense\nend\n"))
+
+let test_snapshot_load_missing_file () =
+  let path = Filename.temp_file "tse_snap" ".gone" in
+  Sys.remove path;
+  (* the error must name the file *)
+  match Snapshot.load path with
+  | _ -> Alcotest.fail "expected load of a missing file to fail"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%S mentions the path" msg)
+      true
+      (String.length msg >= String.length path
+      && String.sub msg 0 14 = "Snapshot.load ")
 
 let test_stats () =
   let s = Stats.create () in
@@ -226,10 +310,18 @@ let suite =
     Alcotest.test_case "txn abort rolls back" `Quick test_txn_abort;
     Alcotest.test_case "txn commit and nesting" `Quick
       test_txn_commit_and_nesting;
+    Alcotest.test_case "txn inner abort, outer commit" `Quick
+      test_txn_inner_abort_outer_commit;
+    Alcotest.test_case "txn rollback restores slots and tag" `Quick
+      test_txn_rollback_restores_slots_and_tag;
+    Alcotest.test_case "txn rollback survives a faulting undo" `Quick
+      test_txn_rollback_exception;
     Alcotest.test_case "hash index" `Quick test_index;
     Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
     Alcotest.test_case "snapshot file save/load" `Quick test_snapshot_file;
     Alcotest.test_case "snapshot malformed input" `Quick test_snapshot_malformed;
+    Alcotest.test_case "snapshot load names missing file" `Quick
+      test_snapshot_load_missing_file;
     Alcotest.test_case "storage accounting" `Quick test_stats;
   ]
   @ List.map QCheck_alcotest.to_alcotest
