@@ -382,6 +382,11 @@ let evolution_longitudinal () =
     (Database.check rs.db = [])
 
 let () =
+  let argv = Array.to_list Sys.argv in
+  if List.mem "reclassify" argv then begin
+    Bench_reclassify.run ~smoke:(List.mem "--smoke" argv) ();
+    exit 0
+  end;
   Printf.printf
     "TSE benchmark harness — one section per paper table/figure + ablations\n";
   table1_structural ();

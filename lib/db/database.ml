@@ -7,10 +7,27 @@ module Klass = Tse_schema.Klass
 module Prop = Tse_schema.Prop
 module Type_info = Tse_schema.Type_info
 module Expr = Tse_schema.Expr
+module Deps = Tse_schema.Deps
 module Invariants = Tse_schema.Invariants
 module Slicing = Tse_objmodel.Slicing
 
 type cid = Klass.cid
+
+let reclassify_fuel = 4
+
+(* Per-object memo of select-predicate verdicts. An entry for a select
+   class is the last value its predicate evaluated to for this object;
+   entries are dropped when a dependency recorded in the Deps index
+   changes (attribute written, membership of an observed class changed),
+   and the whole memo is discarded on any schema change ([v_gen]).
+   [primed] means a full fixpoint has completed under this generation, so
+   a MISSING entry proves the object was not a member of the select's
+   source the last time memberships settled. *)
+type verdict_state = {
+  mutable v_gen : int;
+  mutable primed : bool;
+  verdicts : bool Oid.Tbl.t;
+}
 
 type t = {
   heap : Heap.t;
@@ -21,6 +38,16 @@ type t = {
   base_member : Oid.Set.t ref Oid.Tbl.t;  (* object -> base classes *)
   mutable deriv_order : cid list option;  (* cache *)
   mutable listeners : (event -> unit) list;
+  (* --- incremental reclassification engine --- *)
+  mutable deps : Deps.t option;  (* cache, keyed on graph version *)
+  mutable deps_version : int;
+  mutable cache_gen : int;  (* bumped when per-object caches must die *)
+  verdict_cache : verdict_state Oid.Tbl.t;
+  resolve_cache : (int * (string, (cid * Prop.t) option) Hashtbl.t) Oid.Tbl.t;
+  mutable full_reclassify : bool;  (* oracle escape hatch *)
+  mutable formula_evals : int;
+  mutable nonconverge_warned : bool;
+  mutable nonconvergence_hook : Oid.t -> unit;
 }
 
 and event =
@@ -28,7 +55,20 @@ and event =
   | Object_destroyed of Oid.t
   | Attr_set of Oid.t * string * Value.t
   | Reclassified of Oid.t
+  | Membership_delta of Oid.t * cid list * cid list
   | Bases_changed of Oid.t
+
+let default_nonconvergence_hook o =
+  Printf.eprintf
+    "tse: warning: derivation fixpoint for object %s did not converge \
+     within %d rounds (nonmonotone derivation); memberships may oscillate\n\
+     %!"
+    (Oid.to_string o) (reclassify_fuel + 1)
+
+let env_full_reclassify () =
+  match Sys.getenv_opt "DB_FULL_RECLASSIFY" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
 
 let create () =
   let heap = Heap.create () in
@@ -44,6 +84,15 @@ let create () =
     base_member = Oid.Tbl.create 256;
     deriv_order = None;
     listeners = [];
+    deps = None;
+    deps_version = -1;
+    cache_gen = 0;
+    verdict_cache = Oid.Tbl.create 256;
+    resolve_cache = Oid.Tbl.create 256;
+    full_reclassify = env_full_reclassify ();
+    formula_evals = 0;
+    nonconverge_warned = false;
+    nonconvergence_hook = default_nonconvergence_hook;
   }
 
 let add_listener t f = t.listeners <- t.listeners @ [ f ]
@@ -54,6 +103,24 @@ let heap t = t.heap
 let model t = t.model
 let stats t = t.stats
 let root t = Schema_graph.root t.graph
+
+let formula_eval_count t = t.formula_evals
+let full_reclassify t = t.full_reclassify
+
+let set_full_reclassify t b =
+  if not (Bool.equal t.full_reclassify b) then begin
+    t.full_reclassify <- b;
+    (* verdict memos were not maintained while the oracle path ran *)
+    t.cache_gen <- t.cache_gen + 1
+  end
+
+let set_nonconvergence_hook t f = t.nonconvergence_hook <- f
+
+let warn_nonconvergence t o =
+  if not t.nonconverge_warned then begin
+    t.nonconverge_warned <- true;
+    t.nonconvergence_hook o
+  end
 
 let extent_ref t cid =
   match Oid.Tbl.find_opt t.extents cid with
@@ -69,11 +136,13 @@ let extent_size t cid = Oid.Set.cardinal (extent t cid)
 
 let note_new_class t cid =
   ignore (extent_ref t cid);
-  t.deriv_order <- None
+  t.deriv_order <- None;
+  t.deps <- None
 
 let note_removed_class t cid =
   Oid.Tbl.remove t.extents cid;
-  t.deriv_order <- None
+  t.deriv_order <- None;
+  t.deps <- None
 
 (* Virtual classes topologically sorted by the derivation DAG (sources
    first). Base classes do not appear. *)
@@ -107,6 +176,35 @@ let derivation_order t =
     t.deriv_order <- Some o;
     o
 
+(* The dependency index, recomputed whenever the schema graph moved under
+   it. A recompute also retires every per-object cache: predicates,
+   resolution orders and carrier classes may all have changed. *)
+let deps t =
+  let v = Schema_graph.version t.graph in
+  match t.deps with
+  | Some d when t.deps_version = v -> d
+  | _ ->
+    let d = Deps.compute t.graph in
+    t.deps <- Some d;
+    t.deps_version <- v;
+    t.cache_gen <- t.cache_gen + 1;
+    d
+
+let verdict_state t o =
+  match Oid.Tbl.find_opt t.verdict_cache o with
+  | Some vs when vs.v_gen = t.cache_gen -> vs
+  | Some vs ->
+    vs.v_gen <- t.cache_gen;
+    vs.primed <- false;
+    Oid.Tbl.reset vs.verdicts;
+    vs
+  | None ->
+    let vs =
+      { v_gen = t.cache_gen; primed = false; verdicts = Oid.Tbl.create 8 }
+    in
+    Oid.Tbl.replace t.verdict_cache o vs;
+    vs
+
 let base_membership t o =
   match Oid.Tbl.find_opt t.base_member o with
   | Some r -> !r
@@ -118,6 +216,11 @@ let objects t = Slicing.objects t.model
 let object_count t = Slicing.object_count t.model
 let mem_object t o = Oid.Tbl.mem t.base_member o
 
+let membership_set t o =
+  List.fold_left
+    (fun acc c -> Oid.Set.add c acc)
+    Oid.Set.empty (member_classes t o)
+
 (* ------------------------------------------------------------------ *)
 (* Property access                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -125,7 +228,7 @@ let mem_object t o = Oid.Tbl.mem t.base_member o
 (* Resolve which member class's local definition of [name] applies to [o]:
    most specific member class; among unrelated candidates a promoted
    definition wins; remaining ties are a real ambiguity. *)
-let resolve_prop t o name =
+let resolve_prop_uncached t o name =
   let candidates =
     List.filter_map
       (fun cid ->
@@ -168,6 +271,29 @@ let resolve_prop t o name =
                   name))
     end)
 
+(* Memoized per object: formula evaluation otherwise re-resolves every
+   property linearly over the member classes. The memo is keyed on the
+   membership signature implicitly — any membership change for the object
+   drops its table, any schema change retires it via [cache_gen]. The
+   ambiguous case raises and is deliberately not cached. *)
+let resolve_tbl t o =
+  ignore (deps t);
+  match Oid.Tbl.find_opt t.resolve_cache o with
+  | Some (g, tbl) when g = t.cache_gen -> tbl
+  | _ ->
+    let tbl = Hashtbl.create 8 in
+    Oid.Tbl.replace t.resolve_cache o (t.cache_gen, tbl);
+    tbl
+
+let resolve_prop t o name =
+  let tbl = resolve_tbl t o in
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+    let r = resolve_prop_uncached t o name in
+    Hashtbl.replace tbl name r;
+    r
+
 let rec get_prop t o name =
   match resolve_prop t o name with
   | None -> raise (Expr.Unknown_property name)
@@ -207,13 +333,15 @@ let isa_closure t set =
     (fun c acc -> Oid.Set.union acc (Schema_graph.ancestors t.graph c))
     set set
 
-let formula_holds t o current (k : Klass.t) =
+(* One shape for the oracle, the cached engine and the checker: only how
+   a select predicate's verdict is obtained differs. *)
+let formula_holds_with pred_fn current (k : Klass.t) =
   let mem c = Oid.Set.mem c current in
   match k.kind with
   | Klass.Base -> Oid.Set.mem k.cid current
   | Klass.Virtual d -> begin
     match d with
-    | Klass.Select (c, pred) -> mem c && holds t o pred
+    | Klass.Select (c, pred) -> mem c && pred_fn k.cid pred
     | Klass.Hide (_, c) -> mem c
     | Klass.Refine (_, c) -> mem c
     | Klass.Refine_from { target; _ } -> mem target
@@ -222,51 +350,208 @@ let formula_holds t o current (k : Klass.t) =
     | Klass.Difference (a, b) -> mem a && not (mem b)
   end
 
+let formula_holds t o current k =
+  formula_holds_with (fun _ pred -> holds t o pred) current k
+
+let eval_pred t o pred =
+  t.formula_evals <- t.formula_evals + 1;
+  holds t o pred
+
+let cached_verdict t vs o cid pred =
+  match Oid.Tbl.find_opt vs.verdicts cid with
+  | Some b -> b
+  | None ->
+    let b = eval_pred t o pred in
+    Oid.Tbl.replace vs.verdicts cid b;
+    b
+
+(* Desired membership of [o] after one pass over the derivation order.
+   Formulas are evaluated IN-ROUND against the set built so far: the
+   derivation order guarantees every class's sources were decided earlier
+   in the same pass, so one pass computes the complete membership —
+   crucially, a class the object remains a member of is never transiently
+   absent, which would destroy its implementation slice (and the stored
+   data it carries) during synchronization. *)
+let membership_round t ~pred_fn ~base_closure ~order =
+  let m = ref base_closure in
+  List.iter
+    (fun cid ->
+      let k = Schema_graph.find_exn t.graph cid in
+      if formula_holds_with pred_fn !m k then begin
+        m := Oid.Set.add cid !m;
+        m := Oid.Set.union !m (Schema_graph.ancestors t.graph cid)
+      end)
+    order;
+  Oid.Set.remove (root t) !m
+
 let remove_from_extents t o =
   Oid.Tbl.iter (fun _ r -> r := Oid.Set.remove o !r) t.extents
 
 let sync_extents t o membership =
   remove_from_extents t o;
-  Oid.Set.iter (fun cid -> extent_ref t cid := Oid.Set.add o !(extent_ref t cid)) membership
+  Oid.Set.iter
+    (fun cid -> extent_ref t cid := Oid.Set.add o !(extent_ref t cid))
+    membership
 
-(* Desired membership of [o]: its base classes, closed upward, plus every
-   virtual class whose derivation formula holds, iterated to a fixpoint.
-   Implementation objects are synchronized eagerly after each round so
-   that predicates can read attributes introduced by refine classes. *)
-let reclassify t o =
+(* Synchronize the object model mid-fixpoint and keep the property
+   resolution memo honest: a membership change invalidates it. *)
+let set_membership_sync t o next =
+  Slicing.set_membership t.model o (Oid.Set.elements next);
+  Oid.Tbl.remove t.resolve_cache o
+
+let delta_events t o ~before ~after =
+  let added = Oid.Set.diff after before in
+  let removed = Oid.Set.diff before after in
+  if not (Oid.Set.is_empty added && Oid.Set.is_empty removed) then
+    notify t
+      (Membership_delta (o, Oid.Set.elements added, Oid.Set.elements removed))
+
+(* --- oracle: the literal Section 3.2 full fixpoint ------------------ *)
+
+(* Every select predicate is re-evaluated in every round and the extent
+   index is rebuilt with a full per-class sweep — kept verbatim as the
+   correctness oracle (DB_FULL_RECLASSIFY=1) and the bench baseline. *)
+let reclassify_oracle t o =
   let base = base_membership t o in
   let order = derivation_order t in
-  let rootc = root t in
-  (* Formulas are evaluated IN-ROUND against the set built so far: the
-     derivation order guarantees every class's sources were decided
-     earlier in the same pass, so one pass computes the complete
-     membership — crucially, a class the object remains a member of is
-     never transiently absent, which would destroy its implementation
-     slice (and the stored data it carries) during synchronization. *)
-  let round () =
-    let m = ref (isa_closure t base) in
-    List.iter
-      (fun cid ->
-        let k = Schema_graph.find_exn t.graph cid in
-        if formula_holds t o !m k then begin
-          m := Oid.Set.add cid !m;
-          m := Oid.Set.union !m (Schema_graph.ancestors t.graph cid)
-        end)
-      order;
-    Oid.Set.remove rootc !m
-  in
-  let rec fix current fuel =
-    let next = round () in
-    Slicing.set_membership t.model o (Oid.Set.elements next);
-    if Oid.Set.equal next current then next
-    else if fuel = 0 then next (* nonmonotone derivations may not converge *)
+  let base_closure = isa_closure t base in
+  let before = membership_set t o in
+  let pred_fn _cid pred = eval_pred t o pred in
+  (* convergence means: the round's output equals the membership it was
+     EVALUATED under. Predicates read the object model (In_class tests,
+     attribute resolution through slices), so comparing against the
+     previous round's output alone can declare a fixpoint whose verdicts
+     were computed against a stale model — e.g. when joining a base class
+     makes a select's In_class test true but the output happens to equal
+     the base closure. *)
+  let rec fix evaluated_under fuel =
+    let next = membership_round t ~pred_fn ~base_closure ~order in
+    set_membership_sync t o next;
+    if Oid.Set.equal next evaluated_under then next
+    else if fuel = 0 then begin
+      (* nonmonotone derivations may not converge *)
+      warn_nonconvergence t o;
+      next
+    end
     else fix next (fuel - 1)
   in
-  let final = fix (Oid.Set.remove rootc (isa_closure t base)) 4 in
+  let final = fix before reclassify_fuel in
   sync_extents t o final;
-  notify t (Reclassified o)
+  notify t (Reclassified o);
+  delta_events t o ~before ~after:final
 
-let reclassify_all t = List.iter (fun o -> reclassify t o) (objects t)
+(* --- incremental engine -------------------------------------------- *)
+
+(* Apply one round's membership outcome: sync the model and drop the
+   verdicts the Deps index says a membership change can invalidate, so
+   the next round re-evaluates exactly those predicates. *)
+let apply_round t vs o ~prev ~next =
+  if not (Oid.Set.equal prev next) then begin
+    set_membership_sync t o next;
+    let d = deps t in
+    let changed =
+      Oid.Set.union (Oid.Set.diff prev next) (Oid.Set.diff next prev)
+    in
+    Oid.Set.iter
+      (fun x ->
+        Oid.Set.iter
+          (fun s -> Oid.Tbl.remove vs.verdicts s)
+          (Deps.selects_on_class d x))
+      changed
+  end
+
+let run_incremental_fixpoint t vs o =
+  let before = membership_set t o in
+  let base_closure = isa_closure t (base_membership t o) in
+  let order = derivation_order t in
+  let pred_fn cid pred = cached_verdict t vs o cid pred in
+  let model_now = ref before in
+  (* same convergence rule as the oracle: stop only when the round's
+     output equals the membership it was evaluated under; apply_round's
+     verdict invalidation makes the confirming round re-evaluate exactly
+     the predicates a membership change can have flipped *)
+  let rec fix fuel =
+    let evaluated_under = !model_now in
+    let next = membership_round t ~pred_fn ~base_closure ~order in
+    apply_round t vs o ~prev:evaluated_under ~next;
+    model_now := next;
+    if Oid.Set.equal next evaluated_under then next
+    else if fuel = 0 then begin
+      warn_nonconvergence t o;
+      next
+    end
+    else fix (fuel - 1)
+  in
+  let final = fix reclassify_fuel in
+  vs.primed <- true;
+  (* extent deltas: add/remove per changed class, never a full sweep *)
+  let added = Oid.Set.diff final before in
+  let removed = Oid.Set.diff before final in
+  Oid.Set.iter
+    (fun c -> extent_ref t c := Oid.Set.add o !(extent_ref t c))
+    added;
+  Oid.Set.iter
+    (fun c ->
+      match Oid.Tbl.find_opt t.extents c with
+      | Some r -> r := Oid.Set.remove o !r
+      | None -> ())
+    removed;
+  notify t (Reclassified o);
+  if not (Oid.Set.is_empty added && Oid.Set.is_empty removed) then
+    notify t
+      (Membership_delta (o, Oid.Set.elements added, Oid.Set.elements removed))
+
+(* [dirty = Some s]: the verdicts of the selects in [s] are suspect (an
+   attribute they read was written); anything else is known-good, so if
+   re-evaluating them changes nothing, memberships cannot have moved and
+   the whole reclassification is a no-op. [dirty = None]: the membership
+   STRUCTURE changed (base classes moved) — cached verdicts stay valid,
+   but the fixpoint must run. *)
+let reclassify_incr t o dirty =
+  ignore (deps t);
+  let vs = verdict_state t o in
+  let must_run =
+    match dirty with
+    | None -> true
+    | Some set when vs.primed ->
+      Oid.Set.fold
+        (fun cid changed ->
+          match Oid.Tbl.find_opt vs.verdicts cid with
+          | None ->
+            (* never evaluated under this generation: the object was not a
+               member of the select's source when memberships last
+               settled, and an attribute write cannot make it one *)
+            changed
+          | Some old -> begin
+            match (Schema_graph.find_exn t.graph cid).kind with
+            | Klass.Virtual (Klass.Select (_, pred)) ->
+              let now = eval_pred t o pred in
+              Oid.Tbl.replace vs.verdicts cid now;
+              changed || not (Bool.equal old now)
+            | Klass.Base | Klass.Virtual _ -> changed
+          end)
+        set false
+    | Some set ->
+      (* unprimed: no fixpoint has run under this generation; stale
+         entries cannot exist, but nothing can be proven either *)
+      Oid.Set.iter (Oid.Tbl.remove vs.verdicts) set;
+      true
+  in
+  if must_run then run_incremental_fixpoint t vs o
+
+let reclassify t o =
+  if t.full_reclassify then reclassify_oracle t o
+  else reclassify_incr t o None
+
+(* The recompute-the-world entry point. Direct (destructive) schema
+   surgery mutates class properties without going through the graph's
+   versioned mutators, so every derived cache is dropped first. *)
+let reclassify_all t =
+  t.deriv_order <- None;
+  t.deps <- None;
+  t.deps_version <- -1;
+  t.cache_gen <- t.cache_gen + 1;
+  List.iter (fun o -> reclassify t o) (objects t)
 
 (* ------------------------------------------------------------------ *)
 (* Object lifecycle                                                    *)
@@ -288,7 +573,13 @@ let set_attr t o name v =
   end);
   Slicing.set_attr t.model o name v;
   notify t (Attr_set (o, name, v));
-  reclassify t o
+  if t.full_reclassify then reclassify_oracle t o
+  else begin
+    let dirty = Deps.selects_on_attr (deps t) name in
+    (* an attribute no derivation predicate can observe: memberships are
+       untouched, skip reclassification entirely *)
+    if not (Oid.Set.is_empty dirty) then reclassify_incr t o (Some dirty)
+  end
 
 (* Stored base membership is kept MINIMAL: a class implied by another
    member (as its ancestor) is dropped, and the upward closure is
@@ -313,17 +604,34 @@ let create_object ?(init = []) t cid =
       (Printf.sprintf "Database.create_object: %s is virtual" k.name);
   let o = Slicing.create_object t.model cid in
   Oid.Tbl.replace t.base_member o (ref (Oid.Set.singleton cid));
+  (* seed the extent index with the full initial membership (the creation
+     class and its ancestors, already materialized by the object model) so
+     delta maintenance starts from a consistent membership/extent pair *)
+  List.iter
+    (fun c -> extent_ref t c := Oid.Set.add o !(extent_ref t c))
+    (member_classes t o);
+  (* creation is announced before the init writes, so listeners never
+     observe Attr_set for an object they were not told exists *)
+  notify t (Object_created o);
+  notify t (Bases_changed o);
   (* classify first so attributes carried by refine slices are storable;
      each assignment re-derives select-class memberships *)
   reclassify t o;
   List.iter (fun (name, v) -> set_attr t o name v) init;
-  notify t (Bases_changed o);
-  notify t (Object_created o);
   o
 
 let destroy_object t o =
-  remove_from_extents t o;
+  if t.full_reclassify then remove_from_extents t o
+  else
+    List.iter
+      (fun c ->
+        match Oid.Tbl.find_opt t.extents c with
+        | Some r -> r := Oid.Set.remove o !r
+        | None -> ())
+      (member_classes t o);
   Oid.Tbl.remove t.base_member o;
+  Oid.Tbl.remove t.verdict_cache o;
+  Oid.Tbl.remove t.resolve_cache o;
   Slicing.destroy_object t.model o;
   notify t (Object_destroyed o)
 
@@ -372,6 +680,15 @@ let restore ~heap ~graph ~bases =
       base_member = Oid.Tbl.create 256;
       deriv_order = None;
       listeners = [];
+      deps = None;
+      deps_version = -1;
+      cache_gen = 0;
+      verdict_cache = Oid.Tbl.create 256;
+      resolve_cache = Oid.Tbl.create 256;
+      full_reclassify = env_full_reclassify ();
+      formula_evals = 0;
+      nonconverge_warned = false;
+      nonconvergence_hook = default_nonconvergence_hook;
     }
   in
   List.iter

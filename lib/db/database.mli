@@ -68,6 +68,34 @@ val reclassify : t -> Tse_store.Oid.t -> unit
 
 val reclassify_all : t -> unit
 
+(** {2 Incremental reclassification engine}
+
+    [set_attr] consults a static dependency index ({!Tse_schema.Deps})
+    to re-evaluate only the select predicates that can observe the
+    written attribute; extents are maintained by per-class deltas rather
+    than full sweeps. The pre-index full-fixpoint path is kept as a
+    correctness oracle, selectable per database or via the
+    [DB_FULL_RECLASSIFY=1] environment variable at creation time. *)
+
+val reclassify_fuel : int
+(** Extra fixpoint rounds granted after the first before the engine gives
+    up on a nonmonotone derivation and calls the nonconvergence hook. *)
+
+val full_reclassify : t -> bool
+val set_full_reclassify : t -> bool -> unit
+(** Switch between the incremental engine ([false], default) and the full
+    fixpoint oracle ([true]). Switching invalidates all verdict caches,
+    so the modes can be toggled mid-run for differential testing. *)
+
+val formula_eval_count : t -> int
+(** Running count of select-predicate evaluations performed during
+    reclassification (both modes). The incremental engine's contract:
+    writing an attribute no predicate depends on adds zero. *)
+
+val set_nonconvergence_hook : t -> (Tse_store.Oid.t -> unit) -> unit
+(** Called at most once per database with the first object whose fixpoint
+    exhausted its fuel. Default prints a warning to [stderr]. *)
+
 (** {2 Extents} *)
 
 val extent : t -> cid -> Tse_store.Oid.Set.t
@@ -110,6 +138,11 @@ type event =
   | Attr_set of Tse_store.Oid.t * string * Tse_store.Value.t
       (** object, attribute, new value *)
   | Reclassified of Tse_store.Oid.t
+  | Membership_delta of Tse_store.Oid.t * cid list * cid list
+      (** object, classes gained, classes lost — fired after
+          [Reclassified], only when the membership set actually changed.
+          Derived structures (per-class indexes, extent observers) can
+          maintain themselves from the delta instead of rescanning. *)
   | Bases_changed of Tse_store.Oid.t
       (** the object's explicit base-class membership set changed (fires
           on creation and on add/remove of a base membership) *)

@@ -51,10 +51,20 @@ let on_event t event =
   match event with
   | Database.Object_created o
   | Database.Object_destroyed o
-  | Database.Attr_set (o, _, _)
-  | Database.Reclassified o
-  | Database.Bases_changed o ->
+  | Database.Bases_changed o
+  (* a membership change moves the object across extents and can change
+     what an indexed attribute name resolves to: refresh everything *)
+  | Database.Membership_delta (o, _, _) ->
     handle o
+  | Database.Attr_set (o, attr, _) ->
+    (* a stored-attribute write can only move entries indexing that name *)
+    List.iter
+      (fun e -> if String.equal e.e_attr attr then refresh_object e t.db o)
+      t.entries
+  | Database.Reclassified _ ->
+    (* reclassification that changed nothing changes no index; real
+       changes arrive as [Membership_delta] *)
+    ()
 
 let create db =
   let t = { db; entries = [] } in

@@ -1,0 +1,111 @@
+module Oid = Tse_store.Oid
+
+type t = {
+  attr_selects : (string, Oid.Set.t) Hashtbl.t;
+  class_selects : Oid.Set.t Oid.Tbl.t;
+  select_count : int;
+}
+
+let selects_on_attr t name =
+  Option.value (Hashtbl.find_opt t.attr_selects name) ~default:Oid.Set.empty
+
+let selects_on_class t cid =
+  Option.value (Oid.Tbl.find_opt t.class_selects cid) ~default:Oid.Set.empty
+
+let select_count t = t.select_count
+
+(* A predicate reads a property by NAME; resolution may land on a stored
+   slot or on a method whose body reads further properties. The schema
+   does not say which definition an individual object resolves to, so the
+   closure is conservative: a name is expanded through EVERY method body
+   defined under it anywhere in the schema. *)
+let compute g =
+  let classes = Schema_graph.classes g in
+  let methods : (string, Expr.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (k : Klass.t) ->
+      List.iter
+        (fun (p : Prop.t) ->
+          match p.body with
+          | Prop.Method e ->
+            Hashtbl.replace methods p.name
+              (e :: Option.value (Hashtbl.find_opt methods p.name) ~default:[])
+          | Prop.Stored _ -> ())
+        k.local_props)
+    classes;
+  let attr_selects = Hashtbl.create 32 in
+  let class_selects = Oid.Tbl.create 32 in
+  let add_attr name cid =
+    Hashtbl.replace attr_selects name
+      (Oid.Set.add cid
+         (Option.value (Hashtbl.find_opt attr_selects name)
+            ~default:Oid.Set.empty))
+  in
+  let add_class c cid =
+    Oid.Tbl.replace class_selects c
+      (Oid.Set.add cid
+         (Option.value (Oid.Tbl.find_opt class_selects c)
+            ~default:Oid.Set.empty))
+  in
+  (* free attrs and referenced class names of a predicate, closed through
+     method bodies *)
+  let closure pred =
+    let attrs = ref [] in
+    let cnames = ref (Expr.referenced_classes pred) in
+    let seen = Hashtbl.create 8 in
+    let rec visit name =
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        attrs := name :: !attrs;
+        List.iter
+          (fun body ->
+            cnames := Expr.referenced_classes body @ !cnames;
+            List.iter visit (Expr.free_attrs body))
+          (Option.value (Hashtbl.find_opt methods name) ~default:[])
+      end
+    in
+    List.iter visit (Expr.free_attrs pred);
+    (!attrs, List.sort_uniq String.compare !cnames)
+  in
+  let select_count = ref 0 in
+  List.iter
+    (fun (k : Klass.t) ->
+      match k.kind with
+      | Klass.Virtual (Klass.Select (_, pred)) ->
+        incr select_count;
+        let attrs, cnames = closure pred in
+        List.iter (fun a -> add_attr a k.cid) attrs;
+        List.iter
+          (fun cn ->
+            match Schema_graph.find_by_name g cn with
+            | Some kc -> add_class kc.Klass.cid k.cid
+            | None -> () (* member_of on an unknown name is constantly false *))
+          cnames
+      | Klass.Base | Klass.Virtual _ -> ())
+    classes;
+  (* carrier rule: gaining/losing a class that locally defines a property
+     some predicate reads changes what (and whether) that name resolves *)
+  List.iter
+    (fun (k : Klass.t) ->
+      List.iter
+        (fun (p : Prop.t) ->
+          match Hashtbl.find_opt attr_selects p.name with
+          | Some selects -> Oid.Set.iter (fun s -> add_class k.cid s) selects
+          | None -> ())
+        k.local_props)
+    classes;
+  { attr_selects; class_selects; select_count = !select_count }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>selects: %d@ " t.select_count;
+  Hashtbl.iter
+    (fun name s ->
+      Format.fprintf ppf "attr %s -> {%s}@ " name
+        (String.concat ", " (List.map Oid.to_string (Oid.Set.elements s))))
+    t.attr_selects;
+  Oid.Tbl.iter
+    (fun c s ->
+      Format.fprintf ppf "class %s -> {%s}@ " (Oid.to_string c)
+        (String.concat ", " (List.map Oid.to_string (Oid.Set.elements s))))
+    t.class_selects;
+  Format.fprintf ppf "@]"

@@ -9,9 +9,13 @@ type t = {
   (* reachability caches, flushed on any edge or class mutation *)
   anc_cache : Oid.Set.t Oid.Tbl.t;
   desc_cache : Oid.Set.t Oid.Tbl.t;
+  (* monotone stamp for derived structures (dependency index, derivation
+     order) to detect that the class set or topology changed under them *)
+  mutable version : int;
 }
 
 let gen t = t.gen
+let version t = t.version
 let root t = t.root
 let find t cid = Oid.Tbl.find_opt t.classes cid
 
@@ -55,6 +59,7 @@ let closure next start =
   !seen
 
 let flush_caches t =
+  t.version <- t.version + 1;
   Oid.Tbl.reset t.anc_cache;
   Oid.Tbl.reset t.desc_cache
 
@@ -78,7 +83,7 @@ let create ~gen =
   let root = Oid.Gen.fresh gen in
   let t =
     { classes = Oid.Tbl.create 64; gen; root; anc_cache = Oid.Tbl.create 64;
-      desc_cache = Oid.Tbl.create 64 }
+      desc_cache = Oid.Tbl.create 64; version = 0 }
   in
   Oid.Tbl.replace t.classes root
     (Klass.make_base ~cid:root ~name:"Object" ~props:[]);
@@ -143,6 +148,8 @@ let register_virtual t ~name derivation props =
   let props = List.map (fun p -> Prop.reoriginate p cid) props in
   let k = Klass.make_virtual ~cid ~name derivation props in
   Oid.Tbl.replace t.classes cid k;
+  (* no edge is linked yet, so flush_caches never runs: bump explicitly *)
+  t.version <- t.version + 1;
   cid
 
 let remove t cid =
@@ -150,7 +157,9 @@ let remove t cid =
   let k = find_exn t cid in
   List.iter (fun sup -> unlink t ~sup ~sub:cid) k.supers;
   List.iter (fun sub -> remove_edge t ~sup:cid ~sub) k.subs;
-  Oid.Tbl.remove t.classes cid
+  Oid.Tbl.remove t.classes cid;
+  (* an edgeless class reaches neither link nor unlink: bump explicitly *)
+  t.version <- t.version + 1
 
 let subclasses_within t cid ~in_set =
   let seen = ref Oid.Set.empty in
@@ -204,7 +213,8 @@ let is_redundant_edge t ~sup ~sub =
 let copy t =
   let t' =
     { classes = Oid.Tbl.create (size t); gen = t.gen; root = t.root;
-      anc_cache = Oid.Tbl.create 64; desc_cache = Oid.Tbl.create 64 }
+      anc_cache = Oid.Tbl.create 64; desc_cache = Oid.Tbl.create 64;
+      version = t.version }
   in
   Oid.Tbl.iter
     (fun cid (k : Klass.t) ->
@@ -223,7 +233,7 @@ let copy t =
 let restore_empty ~gen ~root =
   Oid.Gen.mark_used gen root;
   { classes = Oid.Tbl.create 64; gen; root; anc_cache = Oid.Tbl.create 64;
-    desc_cache = Oid.Tbl.create 64 }
+    desc_cache = Oid.Tbl.create 64; version = 0 }
 
 let install t (k : Klass.t) =
   Oid.Gen.mark_used t.gen k.cid;

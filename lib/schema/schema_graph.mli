@@ -12,6 +12,11 @@ type t
 val create : gen:Tse_store.Oid.Gen.t -> t
 val gen : t -> Tse_store.Oid.Gen.t
 
+val version : t -> int
+(** Monotone mutation stamp: bumped on every class registration/removal
+    and every is-a edge change. Derived structures (the {!Deps} index,
+    cached derivation orders) compare it to detect staleness. *)
+
 val root : t -> cid
 (** The system root class, named ["Object"]. *)
 

@@ -1,15 +1,43 @@
 module Value = Tse_store.Value
 module Oid = Tse_store.Oid
 module Prop = Tse_schema.Prop
+module Expr = Tse_schema.Expr
 module Type_info = Tse_schema.Type_info
 module Schema_graph = Tse_schema.Schema_graph
 module Database = Tse_db.Database
+module Ops = Tse_algebra.Ops
 
-type t = { db : Database.t; classes : Tse_schema.Klass.cid list }
+type t = {
+  db : Database.t;
+  classes : Tse_schema.Klass.cid list;
+  virtuals : Tse_schema.Klass.cid list;
+}
 
-let generate ~seed ~classes ?(attrs_per_class = 3) ?(objects = 0) () =
+let random_pred rng g ~src ~salt =
+  match Type_info.stored_attrs g src with
+  | [] -> None
+  | attrs ->
+    let p = List.nth attrs (Random.State.int rng (List.length attrs)) in
+    let base =
+      match p.Prop.body with
+      | Prop.Stored { ty = Value.TInt; _ } ->
+        Expr.(attr p.Prop.name >= int (Random.State.int rng 100))
+      | Prop.Stored { ty = Value.TBool; _ } ->
+        Expr.(attr p.Prop.name === bool (Random.State.bool rng))
+      | Prop.Stored _ | Prop.Method _ ->
+        Expr.(attr p.Prop.name === str (Printf.sprintf "v%d" salt))
+    in
+    (* sometimes observe a membership, exercising class dependencies *)
+    if Random.State.int rng 4 = 0 then
+      let cname = Schema_graph.name_of g src in
+      Some Expr.(base && In_class cname)
+    else Some base
+
+let generate ~seed ~classes ?(attrs_per_class = 3) ?(objects = 0)
+    ?(virtuals = 0) ?(full_reclassify = false) () =
   let rng = Random.State.make [| seed |] in
   let db = Database.create () in
+  Database.set_full_reclassify db full_reclassify;
   let g = Database.graph db in
   let attr_counter = ref 0 in
   let made = ref [] in
@@ -48,6 +76,27 @@ let generate ~seed ~classes ?(attrs_per_class = 3) ?(objects = 0) () =
     made := cid :: !made
   done;
   let classes_list = List.rev !made in
+  (* virtual select classes over random sources (bases or earlier
+     virtuals), so derivation chains occur; a duplicate derivation is
+     rejected by the algebra and simply skipped *)
+  let virt = ref [] in
+  let vsources = Array.of_list classes_list in
+  for v = 0 to virtuals - 1 do
+    let pool_extra = Array.of_list !virt in
+    let total = Array.length vsources + Array.length pool_extra in
+    let k = Random.State.int rng total in
+    let src =
+      if k < Array.length vsources then vsources.(k)
+      else pool_extra.(k - Array.length vsources)
+    in
+    match random_pred rng g ~src ~salt:v with
+    | None -> ()
+    | Some pred -> (
+      match Ops.select db ~name:(Printf.sprintf "V%d" v) ~src pred with
+      | cid -> virt := cid :: !virt
+      | exception Ops.Error _ -> ())
+  done;
+  let virtuals_list = List.rev !virt in
   let arr = Array.of_list classes_list in
   for j = 0 to objects - 1 do
     let cid = arr.(Random.State.int rng (Array.length arr)) in
@@ -68,7 +117,7 @@ let generate ~seed ~classes ?(attrs_per_class = 3) ?(objects = 0) () =
     in
     ignore (Database.create_object db cid ~init)
   done;
-  { db; classes = classes_list }
+  { db; classes = classes_list; virtuals = virtuals_list }
 
 let class_names t =
   List.map (Schema_graph.name_of (Database.graph t.db)) t.classes

@@ -4,19 +4,36 @@
     Schemas are rooted DAGs: each class gets one or (occasionally) two
     superclasses among the previously created ones, and a few stored
     attributes with distinct names, so multiple-inheritance diamonds and
-    deep chains both occur. All randomness is drawn from a caller-seeded
-    state — identical seeds give identical databases (the twin-fixture
-    requirement of the verification tests). *)
+    deep chains both occur. Optionally a layer of [select] virtual
+    classes is derived over random sources (base or earlier virtual), with
+    predicates over the sources' stored attributes and occasional
+    [In_class] membership tests. All randomness is drawn from a
+    caller-seeded state — identical seeds give identical databases (the
+    twin-fixture requirement of the verification tests). *)
 
 type t = {
   db : Tse_db.Database.t;
   classes : Tse_schema.Klass.cid list;  (** creation order: supers first *)
+  virtuals : Tse_schema.Klass.cid list;
+      (** the generated [select] classes, creation order *)
 }
 
 val generate :
-  seed:int -> classes:int -> ?attrs_per_class:int -> ?objects:int -> unit -> t
-(** [objects] objects are spread uniformly over the classes (default 0).
-    [attrs_per_class] defaults to 3. *)
+  seed:int ->
+  classes:int ->
+  ?attrs_per_class:int ->
+  ?objects:int ->
+  ?virtuals:int ->
+  ?full_reclassify:bool ->
+  unit ->
+  t
+(** [objects] objects are spread uniformly over the base classes (default
+    0). [attrs_per_class] defaults to 3. [virtuals] requests that many
+    derived [select] classes (default 0; duplicates the classifier rejects
+    are silently skipped, so fewer may materialize). [full_reclassify]
+    pins the database to the full-fixpoint oracle instead of the
+    incremental reclassification engine — twin databases generated from
+    one seed with the two settings are behaviourally comparable. *)
 
 val class_names : t -> string list
 

@@ -232,6 +232,122 @@ let test_populate_consistency () =
   check Alcotest.int "graders" 10 (Database.extent_size u.db u.grader);
   Alcotest.(check (list string)) "consistent" [] (Database.check u.db)
 
+(* --- incremental reclassification engine ---------------------------- *)
+
+let test_zero_eval_on_untouched_attr () =
+  let u = uni () in
+  let db = u.db in
+  (* the contract under test is the incremental engine's, whatever
+     DB_FULL_RECLASSIFY says for the rest of the suite *)
+  Database.set_full_reclassify db false;
+  let senior =
+    Tse_algebra.Ops.select db ~name:"Senior" ~src:u.person
+      Expr.(attr "age" >= int 65)
+  in
+  let p =
+    Database.create_object db u.person
+      ~init:[ ("age", Value.Int 70); ("name", Value.String "pat") ]
+  in
+  Alcotest.(check bool) "senior" true (Database.is_member db p senior);
+  let n0 = Database.formula_eval_count db in
+  (* no select predicate reads name or ssn: the writes must short-circuit
+     before any formula evaluation *)
+  Database.set_attr db p "name" (Value.String "chris");
+  Database.set_attr db p "ssn" (Value.Int 7);
+  check Alcotest.int "zero evaluations" n0 (Database.formula_eval_count db);
+  Database.set_attr db p "age" (Value.Int 30);
+  Alcotest.(check bool) "left Senior" false (Database.is_member db p senior);
+  Alcotest.(check bool) "age write evaluated the predicate" true
+    (Database.formula_eval_count db > n0);
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
+let test_nonconvergence_hook () =
+  let u = uni () in
+  let db = u.db in
+  let g = Database.graph db in
+  Alcotest.(check bool) "fuel is positive" true (Database.reclassify_fuel > 0);
+  let fired = ref 0 in
+  Database.set_nonconvergence_hook db (fun _ -> incr fired);
+  (* a self-negating derivation: V = select Person where not member_of V.
+     Built below the algebra because Ops rejects the forward reference. *)
+  let v =
+    Schema_graph.register_virtual g ~name:"Oscillator"
+      (Klass.Select (u.person, Expr.Not (Expr.In_class "Oscillator")))
+      []
+  in
+  Schema_graph.add_edge g ~sup:u.person ~sub:v;
+  Database.note_new_class db v;
+  ignore (Database.create_object db u.person ~init:[]);
+  check Alcotest.int "hook fired" 1 !fired;
+  ignore (Database.create_object db u.person ~init:[]);
+  check Alcotest.int "hook is one-shot" 1 !fired
+
+let test_create_event_order () =
+  let u = uni () in
+  let db = u.db in
+  let log = ref [] in
+  Database.add_listener db (fun ev -> log := ev :: !log);
+  let o =
+    Database.create_object db u.person
+      ~init:[ ("name", Value.String "n"); ("age", Value.Int 3) ]
+  in
+  let events = List.rev !log in
+  (match events with
+  | Database.Object_created o' :: _ ->
+    Alcotest.(check bool) "creation announced first" true (Oid.equal o o')
+  | _ -> Alcotest.fail "first event was not Object_created");
+  (* no listener may see a write to an object it has not been told exists *)
+  let created = ref false in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Database.Object_created _ -> created := true
+      | Database.Attr_set _ ->
+        Alcotest.(check bool) "Attr_set after Object_created" true !created
+      | _ -> ())
+    events;
+  Alcotest.(check bool) "init writes were observed" true
+    (List.exists
+       (function Database.Attr_set _ -> true | _ -> false)
+       events)
+
+let test_membership_delta_events () =
+  let u = uni () in
+  let db = u.db in
+  let senior =
+    Tse_algebra.Ops.select db ~name:"Senior" ~src:u.person
+      Expr.(attr "age" >= int 65)
+  in
+  let deltas = ref [] in
+  Database.add_listener db (fun ev ->
+      match ev with
+      | Database.Membership_delta (o, a, r) -> deltas := (o, a, r) :: !deltas
+      | _ -> ());
+  let p = Database.create_object db u.person ~init:[ ("age", Value.Int 30) ] in
+  check Alcotest.int "no spurious delta" 0 (List.length !deltas);
+  Database.set_attr db p "age" (Value.Int 70);
+  (match !deltas with
+  | [ (o, [ a ], []) ] ->
+    Alcotest.(check bool) "joined Senior" true
+      (Oid.equal o p && Oid.equal a senior)
+  | _ -> Alcotest.fail "expected one join delta");
+  Alcotest.(check bool) "extent maintained by delta" true
+    (Oid.Set.mem p (Database.extent db senior));
+  deltas := [];
+  Database.set_attr db p "age" (Value.Int 40);
+  (match !deltas with
+  | [ (o, [], [ r ]) ] ->
+    Alcotest.(check bool) "left Senior" true (Oid.equal o p && Oid.equal r senior)
+  | _ -> Alcotest.fail "expected one leave delta");
+  Alcotest.(check bool) "extent pruned by delta" false
+    (Oid.Set.mem p (Database.extent db senior));
+  (* the oracle escape hatch fires the same deltas *)
+  Database.set_full_reclassify db true;
+  deltas := [];
+  Database.set_attr db p "age" (Value.Int 80);
+  check Alcotest.int "oracle delta" 1 (List.length !deltas);
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
 let suite =
   [
     Alcotest.test_case "create + extent closure" `Quick test_create_and_extents;
@@ -252,4 +368,12 @@ let suite =
     Alcotest.test_case "destroy object" `Quick test_destroy_object;
     Alcotest.test_case "populated university is consistent" `Quick
       test_populate_consistency;
+    Alcotest.test_case "untouched attribute: zero formula evaluations" `Quick
+      test_zero_eval_on_untouched_attr;
+    Alcotest.test_case "nonconvergence hook fires once" `Quick
+      test_nonconvergence_hook;
+    Alcotest.test_case "creation event precedes init writes" `Quick
+      test_create_event_order;
+    Alcotest.test_case "membership deltas drive extents" `Quick
+      test_membership_delta_events;
   ]

@@ -285,10 +285,115 @@ let prop_catalog_roundtrip =
       in
       ok_views && Database.check db' = [])
 
+(* The incremental reclassification engine must be observationally equal
+   to the full-fixpoint oracle: twin databases built from one seed — one
+   per mode — are driven through the same random trace of attribute
+   writes, base-membership changes and mid-trace view derivations, then
+   compared fact by fact. *)
+let prop_incremental_equals_oracle =
+  QCheck.Test.make
+    ~name:"incremental reclassification == full-fixpoint oracle" ~count:30
+    seed_arb (fun seed ->
+      let mk full =
+        Random_schema.generate ~seed ~classes:8 ~objects:16 ~virtuals:6
+          ~full_reclassify:full ()
+      in
+      let inc = mk false and ora = mk true in
+      if not (Database.full_reclassify ora.db && not (Database.full_reclassify inc.db))
+      then QCheck.Test.fail_report "modes not set as requested";
+      let rng = Random.State.make [| seed; 55 |] in
+      let attr_pool = Array.init 24 (fun i -> Printf.sprintf "a%d" (i + 1)) in
+      let objs = Array.of_list (List.sort Oid.compare (Database.objects inc.db)) in
+      if Array.length objs = 0 then true
+      else begin
+        (* the op list is drawn once, then replayed on both twins *)
+        let steps =
+          List.init 60 (fun i ->
+              let o = Random.State.int rng (Array.length objs) in
+              match Random.State.int rng 6 with
+              | 0 | 1 | 2 ->
+                let a = attr_pool.(Random.State.int rng (Array.length attr_pool)) in
+                let v =
+                  match Random.State.int rng 3 with
+                  | 0 -> Value.Int (Random.State.int rng 100)
+                  | 1 -> Value.Bool (Random.State.bool rng)
+                  | _ -> Value.String (Printf.sprintf "v%d" (Random.State.int rng 8))
+                in
+                `Write (o, a, v)
+              | 3 -> `Add_base (o, Random.State.int rng 8)
+              | 4 -> `Remove_base (o, Random.State.int rng 8)
+              | _ ->
+                `Derive (i, Random.State.int rng 8, Random.State.int rng 100))
+        in
+        let apply (rs : Random_schema.t) step =
+          let db = rs.db in
+          let class_at i = List.nth rs.classes (i mod List.length rs.classes) in
+          match step with
+          | `Write (o, a, v) -> begin
+            try Database.set_attr db objs.(o) a v
+            with Expr.Unknown_property _ | Expr.Type_error _ -> ()
+          end
+          | `Add_base (o, c) -> Database.add_base_membership db objs.(o) (class_at c)
+          | `Remove_base (o, c) ->
+            Database.remove_base_membership db objs.(o) (class_at c)
+          | `Derive (i, c, bound) -> begin
+            let src = class_at c in
+            match
+              Random_schema.random_attr (Random.State.make [| seed; i |]) rs src
+            with
+            | None -> ()
+            | Some a -> (
+              try
+                ignore
+                  (Tse_algebra.Ops.select db ~name:(Printf.sprintf "W%d" i)
+                     ~src Expr.(attr a >= int bound))
+              with Tse_algebra.Ops.Error _ -> ())
+          end
+        in
+        List.iter (fun s -> apply inc s; apply ora s) steps;
+        (* identical seeds and identical op streams allocate identical
+           oids, so facts compare directly *)
+        let facts (rs : Random_schema.t) =
+          let db = rs.db in
+          let g = Database.graph db in
+          let cids = List.sort Oid.compare (Schema_graph.cids g) in
+          List.map
+            (fun o ->
+              List.map
+                (fun c ->
+                  ( Database.is_member db o c,
+                    Oid.Set.mem o (Database.extent db c) ))
+                cids)
+            (List.sort Oid.compare (Database.objects db))
+        in
+        let props (rs : Random_schema.t) =
+          List.map
+            (fun o ->
+              Array.to_list attr_pool
+              |> List.map (fun a ->
+                     match Database.get_prop rs.db o a with
+                     | v -> Fmt.str "%a" Value.pp v
+                     | exception Expr.Unknown_property _ -> "?"
+                     | exception Expr.Type_error _ -> "!"))
+            (List.sort Oid.compare (Database.objects rs.db))
+        in
+        if facts inc <> facts ora then
+          QCheck.Test.fail_report "membership/extent facts diverged"
+        else if props inc <> props ora then
+          QCheck.Test.fail_report "property reads diverged"
+        else
+          match Database.check inc.db, Database.check ora.db with
+          | [], [] -> true
+          | p, p' ->
+            QCheck.Test.fail_reportf "inconsistent:@.%s"
+              (String.concat "\n" (p @ p'))
+      end)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_models_agree;
+      prop_incremental_equals_oracle;
       prop_catalog_roundtrip;
       prop_random_schema_consistent;
       prop_tse_equals_direct;
