@@ -306,7 +306,7 @@ let ablation_durability () =
   in
   if Sys.file_exists dir then
     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-  let d, _ = Durable.open_dir ~dir in
+  let d, _ = Durable.open_dir ~dir () in
   let db = Durable.db d in
   let person =
     Schema_graph.register_base (Database.graph db) ~name:"Person"
@@ -344,7 +344,7 @@ let ablation_durability () =
   Durable.commit d;
   Durable.close d;
   let wal_len = (Unix.stat (Filename.concat dir "wal")).Unix.st_size in
-  let d2, report = Durable.open_dir ~dir in
+  let d2, report = Durable.open_dir ~dir () in
   Printf.printf "  log tail: %d byte(s), %d batch(es), %d entries\n" wal_len
     report.Recovery.batches_applied report.Recovery.entries_applied;
   Durable.close d2;
@@ -352,7 +352,7 @@ let ablation_durability () =
     [
       Test.make ~name:"open:snapshot+wal-tail (100 objs)"
         (staged (fun () ->
-             let d, _ = Durable.open_dir ~dir in
+             let d, _ = Durable.open_dir ~dir () in
              Durable.close d));
     ]
 
@@ -385,6 +385,10 @@ let () =
   let argv = Array.to_list Sys.argv in
   if List.mem "reclassify" argv then begin
     Bench_reclassify.run ~smoke:(List.mem "--smoke" argv) ();
+    exit 0
+  end;
+  if List.mem "commit" argv then begin
+    Bench_commit.run ~smoke:(List.mem "--smoke" argv) ();
     exit 0
   end;
   Printf.printf

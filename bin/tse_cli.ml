@@ -458,7 +458,7 @@ let print_report report =
 (* A corrupt snapshot or an unusable path is an expected operator-facing
    error, not a crash: report it and exit 2. *)
 let open_durable dir =
-  try Durable.open_dir ~dir with
+  try Durable.open_dir ~dir () with
   | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 2

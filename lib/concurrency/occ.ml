@@ -88,8 +88,11 @@ exception Too_many_conflicts of conflict
 
 (* Run [f] against fresh sessions until one commits, sleeping between
    attempts with bounded linear backoff. Each retry re-reads through a new
-   session, so the body observes the state the conflicting commit left. *)
-let commit_with_retry ?(attempts = 5) ?(backoff = 0.001) t f =
+   session, so the body observes the state the conflicting commit left.
+   With [?durable] the winning validation is also appended to the durable
+   log as one batch — under that handle's sync policy, so a grouped or
+   manual policy amortizes the fsync across many retrying writers. *)
+let commit_with_retry ?(attempts = 5) ?(backoff = 0.001) ?durable t f =
   if attempts < 1 then invalid_arg "Occ.commit_with_retry: attempts < 1";
   if backoff < 0. then invalid_arg "Occ.commit_with_retry: negative backoff";
   let max_backoff = 0.05 in
@@ -104,7 +107,9 @@ let commit_with_retry ?(attempts = 5) ?(backoff = 0.001) t f =
         raise e
     in
     match result with
-    | Ok v -> (v, attempt)
+    | Ok v ->
+      Option.iter Tse_db.Durable.commit durable;
+      (v, attempt)
     | Error conflict ->
       if attempt >= attempts then raise (Too_many_conflicts conflict)
       else begin

@@ -53,7 +53,12 @@ exception Too_many_conflicts of conflict
 (** The last attempt's conflict. *)
 
 val commit_with_retry :
-  ?attempts:int -> ?backoff:float -> t -> (session -> 'a) -> 'a * int
+  ?attempts:int ->
+  ?backoff:float ->
+  ?durable:Tse_db.Durable.t ->
+  t ->
+  (session -> 'a) ->
+  'a * int
 (** [commit_with_retry t f] runs [f] against a fresh session and commits;
     on conflict it retries with a new session (so the body re-reads
     current state), sleeping [backoff * attempt] seconds — capped at
@@ -61,6 +66,11 @@ val commit_with_retry :
     the attempt that committed (1 = no conflicts). An exception from [f]
     aborts the session and propagates; if [f] itself aborts the session,
     that counts as a conflict and is retried.
+
+    [durable] appends the validated writes to that handle's log as one
+    {!Tse_db.Durable.commit} — through its sync policy, so [Group]/
+    [Manual] handles amortize the commit fsync across sessions; call
+    {!Tse_db.Durable.sync} when a caller needs the barrier.
 
     @raise Too_many_conflicts after [attempts] (default 5) conflicts.
     @raise Invalid_argument on [attempts < 1] or negative [backoff]. *)

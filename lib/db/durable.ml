@@ -9,6 +9,8 @@ module Schema_graph = Tse_schema.Schema_graph
 module Schema_codec = Tse_schema.Schema_codec
 module Klass = Tse_schema.Klass
 
+type sync_policy = Every_commit | Group of int | Manual
+
 type t = {
   dir : string;
   database : Database.t;
@@ -17,6 +19,8 @@ type t = {
   mutable pending : Heap.op list;  (* newest first *)
   dirty_bases : unit Oid.Tbl.t;
   mutable last_schema : string;  (* last durable schema image *)
+  mutable policy : sync_policy;
+  mutable unsynced : int;  (* commits appended since the last sync barrier *)
   mutable closed : bool;
 }
 
@@ -25,6 +29,35 @@ let dir t = t.dir
 let seq t = t.seq
 let snapshot_path dir = Filename.concat dir "snapshot"
 let wal_path dir = Filename.concat dir "wal"
+
+let check_policy = function
+  | Group n when n < 1 ->
+    invalid_arg (Printf.sprintf "Durable: Group of %d: size must be >= 1" n)
+  | p -> p
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "every" | "every_commit" | "everycommit" -> Every_commit
+  | "manual" -> Manual
+  | spec -> (
+    match String.split_on_char ':' spec with
+    | [ "group"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> check_policy (Group n)
+      | None -> invalid_arg (Printf.sprintf "Durable: bad sync policy %S" s))
+    | _ -> invalid_arg (Printf.sprintf "Durable: bad sync policy %S" s))
+
+let policy_to_string = function
+  | Every_commit -> "every_commit"
+  | Group n -> Printf.sprintf "group:%d" n
+  | Manual -> "manual"
+
+(* mirrors DB_FULL_RECLASSIFY: the environment picks the default so CI can
+   run the whole suite under a grouped policy without touching the tests *)
+let env_policy () =
+  match Sys.getenv_opt "TSE_SYNC_POLICY" with
+  | None | Some "" -> Every_commit
+  | Some s -> policy_of_string s
 
 let () = Storage.declare_failpoints "checkpoint"
 
@@ -132,7 +165,12 @@ let attach t =
         (* already captured as physical heap ops *)
         ())
 
-let open_dir ~dir =
+let open_dir ?policy ~dir () =
+  let policy =
+    match policy with
+    | Some p -> check_policy p
+    | None -> env_policy ()
+  in
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let snap_file = snapshot_path dir in
   let snap_seq, snap_schema, snap_bases, heap =
@@ -194,6 +232,8 @@ let open_dir ~dir =
       pending = [];
       dirty_bases = Oid.Tbl.create 16;
       last_schema = Schema_codec.encode_graph graph;
+      policy;
+      unsynced = 0;
       closed = false;
     }
   in
@@ -206,6 +246,23 @@ let open_dir ~dir =
 
 let check_open t what =
   if t.closed then invalid_arg (Printf.sprintf "Durable.%s: closed" what)
+
+let policy t = t.policy
+let unsynced_commits t = t.unsynced
+let wal_stats t = Wal.stats t.wal
+
+let sync t =
+  check_open t "sync";
+  Wal.sync t.wal;
+  t.unsynced <- 0
+
+let set_policy t p =
+  check_open t "set_policy";
+  let p = check_policy p in
+  (* a policy switch is a barrier: nothing committed under the old policy
+     stays exposed to the new one's weaker (or different) cadence *)
+  sync t;
+  t.policy <- p
 
 let commit t =
   check_open t "commit";
@@ -239,18 +296,30 @@ let commit t =
   in
   if ops <> [] || bases_entry <> [] || schema_entry <> [] then begin
     let gen_entry = [ Wal.Gen (Oid.Gen.peek (Heap.gen (Database.heap db))) ] in
-    Wal.append t.wal ~seq:(t.seq + 1)
-      (ops @ gen_entry @ bases_entry @ schema_entry);
-    (* durable now: advance the in-memory image *)
-    t.seq <- t.seq + 1;
+    let entries = ops @ gen_entry @ bases_entry @ schema_entry in
+    let seq = t.seq + 1 in
+    (match t.policy with
+    | Every_commit -> Wal.append t.wal ~seq entries
+    | Group _ | Manual ->
+      Wal.append_nosync t.wal ~seq entries;
+      t.unsynced <- t.unsynced + 1);
+    (* the batch is appended (durable now, or framed for the next sync
+       barrier): advance the in-memory image *)
+    t.seq <- seq;
     t.pending <- [];
     Oid.Tbl.reset t.dirty_bases;
-    t.last_schema <- schema
+    t.last_schema <- schema;
+    match t.policy with
+    | Group n when t.unsynced >= n -> sync t
+    | Every_commit | Group _ | Manual -> ()
   end
 
 let checkpoint t =
   check_open t "checkpoint";
   commit t;
+  (* the snapshot folds the whole in-memory image, so everything framed
+     must be on disk first: a checkpoint is always a sync barrier *)
+  sync t;
   Storage.write_atomic ~fp:"checkpoint" ~path:(snapshot_path t.dir)
     (snapshot_string t);
   (* a crash before this reset is benign: replay skips seq <= snapshot's *)
@@ -259,6 +328,7 @@ let checkpoint t =
 let close t =
   check_open t "close";
   commit t;
+  sync t;
   t.closed <- true;
   Heap.set_logger (Database.heap t.database) None;
   Wal.close t.wal

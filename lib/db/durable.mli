@@ -16,14 +16,40 @@
 
     {!open_dir} is recovery: load the snapshot (if any), replay the log
     tail, truncating a torn or corrupt tail instead of failing, and
-    report what happened. *)
+    report what happened.
+
+    {b Sync policies.} When a commit is fsynced is a policy, not a fact
+    of the commit itself: [Every_commit] (the default) fsyncs inside
+    every {!commit} — the strongest contract and the slowest; [Group n]
+    buffers framed batches and flushes them with one write + one fsync
+    every [n] commits; [Manual] only flushes at an explicit {!sync}
+    barrier ({!checkpoint} and {!close} always force one). Under a
+    grouped or manual policy a crash loses at most the commits since the
+    last barrier — never a synced one, and recovery degrades a group
+    torn mid-flush to the longest whole-record prefix. *)
 
 type t
 
-val open_dir : dir:string -> t * Tse_store.Recovery.report
+(** When {!commit} makes a batch durable. *)
+type sync_policy =
+  | Every_commit  (** fsync inside every commit (default) *)
+  | Group of int  (** one write + one fsync per [n] commits; [n >= 1] *)
+  | Manual  (** only {!sync}/{!checkpoint}/{!close} flush *)
+
+val policy_of_string : string -> sync_policy
+(** ["every_commit"] (or ["every"]), ["group:N"], ["manual"].
+    @raise Invalid_argument on anything else, or [group:N] with [N < 1]. *)
+
+val policy_to_string : sync_policy -> string
+
+val open_dir :
+  ?policy:sync_policy -> dir:string -> unit -> t * Tse_store.Recovery.report
 (** Open (creating the directory and an empty database if needed). The
     report describes the log replay: batches applied and skipped, bytes
-    dropped from a bad tail and why.
+    dropped from a bad tail and why. [policy] defaults to the
+    [TSE_SYNC_POLICY] environment variable (same syntax as
+    {!policy_of_string}; mirrors [DB_FULL_RECLASSIFY]) and otherwise to
+    [Every_commit].
 
     @raise Failure if the snapshot itself is unreadable or corrupt (the
     snapshot is written atomically, so this means outside interference,
@@ -38,14 +64,35 @@ val seq : t -> int
 
 val commit : t -> unit
 (** Append everything buffered since the previous commit as one atomic
-    batch and fsync. A commit with no changes writes nothing. *)
+    batch; whether it is fsynced before returning is the sync policy's
+    call (under [Group n] the commit completing the group flushes it).
+    A commit with no changes writes nothing. *)
+
+val sync : t -> unit
+(** Explicit sync barrier: flush every unsynced commit with one write
+    and one fsync. On return they are durable. No-op under
+    [Every_commit] or when nothing is pending. *)
+
+val policy : t -> sync_policy
+val set_policy : t -> sync_policy -> unit
+(** Forces a {!sync} barrier before switching, so no commit is ever
+    governed by a policy weaker than the one it was made under. *)
+
+val unsynced_commits : t -> int
+(** Commits appended since the last sync barrier (0 under
+    [Every_commit]). *)
+
+val wal_stats : t -> Tse_store.Wal.stats
+(** The log's amortization counters: fsyncs, bytes framed, batches per
+    sync. *)
 
 val checkpoint : t -> unit
-(** {!commit}, then fold the whole state into a fresh snapshot
-    (atomically: temp file, fsync, rename) and reset the log. A crash
-    between the rename and the log reset is safe: replay skips batches
-    the snapshot already covers. *)
+(** {!commit}, then {!sync} (a checkpoint is always a barrier), then
+    fold the whole state into a fresh snapshot (atomically: temp file,
+    fsync, rename) and reset the log. A crash between the rename and
+    the log reset is safe: replay skips batches the snapshot already
+    covers. *)
 
 val close : t -> unit
-(** {!commit}, detach the observers and close the log. The value must
-    not be used afterwards. *)
+(** {!commit}, {!sync}, detach the observers and close the log. The
+    value must not be used afterwards. *)

@@ -29,7 +29,17 @@ let choose db indexes cid pred =
   let usable = List.filter (fun (a, _) -> Indexes.indexed indexes cid a) eqs in
   match usable with
   | [] -> (Extent_scan, None)
-  | (attr, v) :: _ ->
+  | first :: rest ->
+    (* prefer the most selective index: highest key cardinality means the
+       smallest buckets over the same extent (ties keep predicate order) *)
+    let cardinality (a, _) =
+      Option.value (Indexes.key_cardinality indexes cid a) ~default:0
+    in
+    let attr, v =
+      List.fold_left
+        (fun best c -> if cardinality c > cardinality best then c else best)
+        first rest
+    in
     (* remaining equality conjuncts join the residual predicate *)
     let rest =
       List.filter_map

@@ -97,6 +97,13 @@ let lookup t cid attr v =
 
 let indexed t cid attr = List.exists (fun e -> key_matches e cid attr) t.entries
 
+let key_cardinality t cid attr =
+  List.find_map
+    (fun e ->
+      if key_matches e cid attr then Some (Index.distinct_keys e.index)
+      else None)
+    t.entries
+
 let overhead_bytes t =
   List.fold_left (fun acc e -> acc + Index.overhead_bytes e.index) 0 t.entries
 

@@ -26,5 +26,12 @@ val lookup : t -> cid -> string -> Tse_store.Value.t -> Tse_store.Oid.Set.t opti
     restricted to the class's extent; [None] when no index exists. *)
 
 val indexed : t -> cid -> string -> bool
+
+val key_cardinality : t -> cid -> string -> int option
+(** [Some n] when an index exists on [(class, attr)]: the number of
+    distinct keys in its buckets. More distinct keys means smaller
+    buckets for the same extent, so the planner prefers the equality
+    conjunct whose index has the highest key cardinality. *)
+
 val overhead_bytes : t -> int
 val index_count : t -> int

@@ -1,16 +1,22 @@
+let needs_escape c = c = ' ' || c = '\n' || c = '\\'
+
 let escape s =
   (* Tags and slot names are identifiers in practice, but stay safe. *)
-  String.concat ""
-    (List.map
-       (fun c ->
-         match c with
-         | ' ' -> "\\s"
-         | '\n' -> "\\n"
-         | '\\' -> "\\\\"
-         | c -> String.make 1 c)
-       (List.init (String.length s) (String.get s)))
+  if not (String.exists needs_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | ' ' -> Buffer.add_string buf "\\s"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
 
-let unescape s =
+let unescape_slow s =
   let buf = Buffer.create (String.length s) in
   let rec loop i =
     if i >= String.length s then Buffer.contents buf
@@ -30,6 +36,8 @@ let unescape s =
     end
   in
   loop 0
+
+let unescape s = if String.contains s '\\' then unescape_slow s else s
 
 let to_string heap =
   let buf = Buffer.create 4096 in

@@ -3,16 +3,35 @@ type entry =
   | Gen of int
   | Ext of string * string
 
-type t = { path : string; mutable fd : Unix.file_descr option }
+type stats = {
+  mutable fsyncs : int;
+  mutable syncs : int;
+  mutable batches_framed : int;
+  mutable bytes_framed : int;
+  mutable max_batches_per_sync : int;
+}
+
+type t = {
+  path : string;
+  mutable fd : Unix.file_descr option;
+  pending : Buffer.t;  (* framed records appended but not yet written *)
+  mutable pending_batches : int;
+  stats : stats;
+}
 
 let fp_append_before = "wal.append.before"
 let fp_append_short = "wal.append.short"
 let fp_append_fsync = "wal.append.fsync"
+let fp_group_append = "wal.group.append"
+let fp_group_fsync = "wal.group.fsync"
 let fp_truncate_before = "wal.truncate.before"
 
 let () =
   List.iter Failpoint.declare
-    [ fp_append_before; fp_append_short; fp_append_fsync; fp_truncate_before ]
+    [
+      fp_append_before; fp_append_short; fp_append_fsync; fp_group_append;
+      fp_group_fsync; fp_truncate_before;
+    ]
 
 (* ---------- entry codec (Codec primitives + Value encoding) ---------- *)
 
@@ -126,39 +145,109 @@ let open_append ~path =
   let fd =
     Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
   in
-  { path; fd = Some fd }
+  {
+    path;
+    fd = Some fd;
+    pending = Buffer.create 1024;
+    pending_batches = 0;
+    stats =
+      {
+        fsyncs = 0;
+        syncs = 0;
+        batches_framed = 0;
+        bytes_framed = 0;
+        max_batches_per_sync = 0;
+      };
+  }
+
+let stats t = t.stats
+let pending_batches t = t.pending_batches
 
 let fd_exn t =
   match t.fd with
   | Some fd -> fd
   | None -> invalid_arg "Wal: log already closed"
 
+let frame t ~seq entries =
+  let record = encode_record ~seq entries in
+  t.stats.batches_framed <- t.stats.batches_framed + 1;
+  t.stats.bytes_framed <- t.stats.bytes_framed + String.length record;
+  record
+
+let append_nosync t ~seq entries =
+  ignore (fd_exn t);
+  Failpoint.hit fp_group_append;
+  Buffer.add_string t.pending (frame t ~seq entries);
+  t.pending_batches <- t.pending_batches + 1
+
+let sync t =
+  if t.pending_batches > 0 then begin
+    let fd = fd_exn t in
+    let data = Buffer.contents t.pending in
+    let batches = t.pending_batches in
+    Buffer.clear t.pending;
+    t.pending_batches <- 0;
+    let len = String.length data in
+    (match Failpoint.short fp_group_append ~len with
+    | Some k ->
+      Storage.write_all fd data 0 k;
+      (* Crash simulation only: the [Crash] below escapes to the test
+         harness, so no durability is reported — a failed flush of the
+         deliberately torn bytes cannot fake anything. *)
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      raise (Failpoint.Crash fp_group_append)
+    | None -> Storage.write_all fd data 0 len);
+    Failpoint.hit fp_group_fsync;
+    (* on the data path a failed fsync must propagate: the caller is about
+       to treat the whole group as durable *)
+    Unix.fsync fd;
+    t.stats.fsyncs <- t.stats.fsyncs + 1;
+    t.stats.syncs <- t.stats.syncs + 1;
+    if batches > t.stats.max_batches_per_sync then
+      t.stats.max_batches_per_sync <- batches
+  end
+
 let append t ~seq entries =
+  (* preserve log order if batches are already buffered (policy switch,
+     explicit barrier racing an eager commit) *)
+  sync t;
   let fd = fd_exn t in
   Failpoint.hit fp_append_before;
-  let record = encode_record ~seq entries in
+  let record = frame t ~seq entries in
   let len = String.length record in
   (match Failpoint.short fp_append_short ~len with
   | Some k ->
     Storage.write_all fd record 0 k;
+    (* crash simulation only, as in [sync]: the raise below means no
+       durability is ever reported for these torn bytes *)
     (try Unix.fsync fd with Unix.Unix_error _ -> ());
     raise (Failpoint.Crash fp_append_short)
   | None -> Storage.write_all fd record 0 len);
   Failpoint.hit fp_append_fsync;
-  Unix.fsync fd
+  Unix.fsync fd;
+  t.stats.fsyncs <- t.stats.fsyncs + 1;
+  t.stats.syncs <- t.stats.syncs + 1;
+  if t.stats.max_batches_per_sync = 0 then t.stats.max_batches_per_sync <- 1
 
 let reset t =
   let fd = fd_exn t in
+  (* anything still buffered is part of what the caller folded elsewhere
+     (checkpoint) or is being discarded with the log *)
+  Buffer.clear t.pending;
+  t.pending_batches <- 0;
   Failpoint.hit fp_truncate_before;
   Unix.ftruncate fd 0;
-  Unix.fsync fd
+  Unix.fsync fd;
+  t.stats.fsyncs <- t.stats.fsyncs + 1
 
 let close t =
   match t.fd with
   | None -> ()
   | Some fd ->
+    (* flush any buffered group; a failed write or fsync here propagates
+       rather than silently dropping the tail *)
+    sync t;
     t.fd <- None;
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
     Unix.close fd
 
 (* ---------- scanning ---------- *)

@@ -13,9 +13,22 @@
     {!scan_file} detects and reports so recovery can truncate it —
     graceful degradation instead of refusal to open.
 
-    Appends go through [Unix] descriptors and fsync before returning, and
-    are guarded by the ["wal.append.before"], ["wal.append.short"],
-    ["wal.append.fsync"] and ["wal.truncate.before"] failpoints. *)
+    There are two ways to get a batch into the file. {!append} frames,
+    writes and fsyncs one batch — durable when it returns. The group
+    pipeline splits that: {!append_nosync} only frames the batch into an
+    in-memory buffer, and {!sync} flushes every buffered batch with one
+    contiguous write followed by one fsync — the amortization {!stats}
+    measures. A crash between the two loses exactly the buffered tail;
+    a crash inside {!sync} leaves a prefix of the group on disk (whole
+    records survive the torn-tail scan, the rest is truncated).
+
+    Appends go through [Unix] descriptors and are guarded by the
+    ["wal.append.before"], ["wal.append.short"], ["wal.append.fsync"]
+    failpoints (eager path), ["wal.group.append"], ["wal.group.fsync"]
+    (group path: crash/short at the buffer boundary, crash before the
+    group's single fsync) and ["wal.truncate.before"]. A failed [fsync]
+    on the data path raises — it is never swallowed, because the caller
+    is about to report durability. *)
 
 type entry =
   | Op of Heap.op  (** one physical heap mutation *)
@@ -31,15 +44,46 @@ val open_append : path:string -> t
 (** Open (creating if needed) for appending. *)
 
 val append : t -> seq:int -> entry list -> unit
-(** Frame, checksum, write and fsync one batch. [seq] must increase
+(** Frame, checksum, write and fsync one batch, flushing any buffered
+    group first so log order matches commit order. [seq] must increase
     strictly across the life of the database (recovery uses it to skip
     batches already folded into a checkpoint snapshot). *)
 
+val append_nosync : t -> seq:int -> entry list -> unit
+(** Frame and checksum one batch into the in-memory group buffer.
+    Nothing touches the file until {!sync}; a crash before it loses the
+    batch. *)
+
+val sync : t -> unit
+(** The sync barrier: write every buffered batch as one contiguous
+    stretch of records, then fsync once. No-op when nothing is buffered.
+    On return the whole group is durable; on [Unix_error] nothing may be
+    assumed durable. *)
+
+val pending_batches : t -> int
+(** Batches framed by {!append_nosync} and not yet flushed by {!sync}. *)
+
+(** Amortization counters, cumulative over the life of the handle. One
+    {!append} counts as one framed batch and one sync of its own;
+    [batches_framed / syncs] is therefore the measured batches-per-fsync
+    whatever mix of paths produced the log. *)
+type stats = {
+  mutable fsyncs : int;  (** [Unix.fsync] calls on the log descriptor *)
+  mutable syncs : int;  (** barriers that actually flushed data *)
+  mutable batches_framed : int;
+  mutable bytes_framed : int;  (** framed record bytes, headers included *)
+  mutable max_batches_per_sync : int;
+}
+
+val stats : t -> stats
+
 val reset : t -> unit
 (** Truncate to empty (after a checkpoint folded the log into the
-    snapshot). *)
+    snapshot), discarding any buffered batches with it. *)
 
 val close : t -> unit
+(** Flush any buffered group ({!sync}, so a failing flush raises rather
+    than silently dropping the tail), then close the descriptor. *)
 
 (** {2 Scanning (recovery)} *)
 

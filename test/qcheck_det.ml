@@ -1,0 +1,14 @@
+(* Deterministic qcheck runs by default. An unset QCHECK_SEED means a
+   fresh random seed per run, which turns any rare counterexample into a
+   tier-1 flake (ROADMAP records one such open bug: ~0.3% of the
+   Proposition B property's generated seeds hit a pre-existing
+   delete_edge/derivation disagreement). Pin the default seed so
+   `dune runtest` is reproducible; set QCHECK_SEED to explore. *)
+
+let seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 20260805
+
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t

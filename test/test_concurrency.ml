@@ -188,6 +188,48 @@ let test_retry_propagates_exceptions () =
    with Failure m -> check Alcotest.string "original exception" "body blew up" m);
   check Alcotest.int "no retry on exception" 1 !tries
 
+let test_retry_commits_through_durable () =
+  (* winners of the OCC race flow to the durable layer through the sync
+     policy: Manual buffers the batch until an explicit barrier, and the
+     write survives a close/reopen afterwards *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tse_occ_durable_%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end;
+  let module Durable = Tse_db.Durable in
+  let d, _ = Durable.open_dir ~policy:Durable.Manual ~dir () in
+  let db = Durable.db d in
+  let person =
+    Tse_schema.Schema_graph.register_base (Database.graph db) ~name:"Person"
+      ~props:[ Tse_schema.Prop.stored ~origin:(Oid.of_int 0) "age" Value.TInt ]
+      ~supers:[]
+  in
+  Database.note_new_class db person;
+  let o = Database.create_object db person ~init:[ ("age", Value.Int 1) ] in
+  let occ = Occ.create db in
+  let v, attempt =
+    Occ.commit_with_retry ~durable:d occ (fun s ->
+        let age = Occ.read s o "age" in
+        Occ.write s o "age" (Value.Int 2);
+        age)
+  in
+  check vpp "body result" (Value.Int 1) v;
+  check Alcotest.int "first attempt" 1 attempt;
+  (* the winning commit was forwarded, but Manual defers the barrier *)
+  check Alcotest.int "buffered under Manual" 1 (Durable.unsynced_commits d);
+  Durable.sync d;
+  check Alcotest.int "barrier drains the group" 0 (Durable.unsynced_commits d);
+  Durable.close d;
+  let d2, _ = Durable.open_dir ~dir () in
+  check vpp "write survived reopen" (Value.Int 2)
+    (Database.get_prop (Durable.db d2) o "age");
+  Durable.close d2
+
 let suite =
   [
     Alcotest.test_case "commit applies buffered writes" `Quick
@@ -210,4 +252,6 @@ let suite =
     Alcotest.test_case "retry: bounded attempts" `Quick test_retry_gives_up;
     Alcotest.test_case "retry: exceptions propagate" `Quick
       test_retry_propagates_exceptions;
+    Alcotest.test_case "retry: winners reach the durable layer" `Quick
+      test_retry_commits_through_durable;
   ]

@@ -390,7 +390,7 @@ let prop_incremental_equals_oracle =
       end)
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Qcheck_det.to_alcotest
     [
       prop_models_agree;
       prop_incremental_equals_oracle;

@@ -89,6 +89,45 @@ let test_engine_plans () =
   | Engine.Extent_scan -> ()
   | _ -> Alcotest.fail "unindexed attr scans"
 
+let test_planner_prefers_selective_index () =
+  (* two usable equality indexes: the planner must pick the one with the
+     higher key cardinality, not merely the first conjunct in predicate
+     order — first-pick and best-pick scan different candidate counts *)
+  let u = uni () in
+  let idx = Indexes.create u.db in
+  for i = 0 to 11 do
+    ignore
+      (Database.create_object u.db u.person
+         ~init:
+           [
+             ("name", Value.String (Printf.sprintf "p%d" i));
+             ("age", Value.Int 30);
+             ("ssn", Value.Int (7000 + i));
+           ])
+  done;
+  Indexes.ensure idx u.person "age";
+  Indexes.ensure idx u.person "ssn";
+  check Alcotest.(option int) "age index has one key" (Some 1)
+    (Indexes.key_cardinality idx u.person "age");
+  check Alcotest.(option int) "ssn index has twelve keys" (Some 12)
+    (Indexes.key_cardinality idx u.person "ssn");
+  (* the low-cardinality conjunct comes FIRST in the predicate *)
+  let pred = Expr.(attr "age" === int 30 && (attr "ssn" === int 7003)) in
+  (match Engine.plan u.db idx u.person pred with
+  | Engine.Index_lookup { attr = "ssn"; residual = true } -> ()
+  | p ->
+    Alcotest.failf "expected ssn lookup + residual, got %a" Engine.pp_plan p);
+  (* the choice matters: the rejected first conjunct enumerates the whole
+     population, the selected one touches a single bucket *)
+  let candidates a v =
+    Oid.Set.cardinal (Option.get (Indexes.lookup idx u.person a v))
+  in
+  check Alcotest.int "first-pick candidates" 12 (candidates "age" (Value.Int 30));
+  check Alcotest.int "best-pick candidates" 1
+    (candidates "ssn" (Value.Int 7003));
+  let hits = Engine.select u.db idx u.person pred in
+  check Alcotest.int "one match" 1 (Oid.Set.cardinal hits)
+
 let test_engine_results_agree () =
   let u, idx = fixture () in
   Indexes.ensure idx u.person "age";
@@ -144,6 +183,8 @@ let suite =
     Alcotest.test_case "index on a virtual class" `Quick
       test_index_on_virtual_class;
     Alcotest.test_case "planner decisions" `Quick test_engine_plans;
+    Alcotest.test_case "planner prefers the selective index" `Quick
+      test_planner_prefers_selective_index;
     Alcotest.test_case "indexed results == scan results" `Quick
       test_engine_results_agree;
     Alcotest.test_case "engine across schema evolution" `Quick

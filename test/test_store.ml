@@ -324,5 +324,5 @@ let suite =
       test_snapshot_load_missing_file;
     Alcotest.test_case "storage accounting" `Quick test_stats;
   ]
-  @ List.map QCheck_alcotest.to_alcotest
+  @ List.map Qcheck_det.to_alcotest
       [ prop_value_roundtrip; prop_value_compare_total ]
