@@ -9,6 +9,7 @@
 open Tse_store
 open Tse_schema
 open Tse_db
+module Metrics = Tse_obs.Metrics
 
 let fresh_dir =
   let counter = ref 0 in
@@ -110,6 +111,24 @@ let json_of rows ~smoke ~objects ~commits ~base =
   Printf.bprintf b "  \"smoke\": %b,\n" smoke;
   Printf.bprintf b "  \"objects\": %d,\n" objects;
   Printf.bprintf b "  \"commits\": %d,\n" commits;
+  (* registry totals for the whole run (all policies, best-of-3 each),
+     plus the headline ratio CI tooling reads without summing rows *)
+  let g8 = List.find_opt (fun r -> r.label = "group:8") rows in
+  Printf.bprintf b "  \"metrics\": {\n";
+  (match g8 with
+  | Some r ->
+    Printf.bprintf b "    \"fsyncs_per_commit_group8\": %.4f,\n"
+      r.fsyncs_per_commit
+  | None -> ());
+  Printf.bprintf b "    \"wal_fsyncs_total\": %d,\n"
+    (Metrics.find_counter "wal.fsyncs");
+  Printf.bprintf b "    \"wal_bytes_framed_total\": %d,\n"
+    (Metrics.find_counter "wal.bytes_framed");
+  Printf.bprintf b "    \"durable_commits_total\": %d,\n"
+    (Metrics.find_counter "durable.commits");
+  Printf.bprintf b "    \"registry\": %s\n"
+    (Metrics.to_json (Metrics.snapshot ()));
+  Printf.bprintf b "  },\n";
   Buffer.add_string b "  \"policies\": [\n";
   List.iteri
     (fun i r ->
@@ -127,6 +146,8 @@ let json_of rows ~smoke ~objects ~commits ~base =
   Buffer.contents b
 
 let run ~smoke () =
+  (* scope the registry to this run so the metrics section is readable *)
+  Metrics.reset ();
   let objects = 64 in
   let commits = if smoke then 200 else 2000 in
   Printf.printf

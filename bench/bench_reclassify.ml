@@ -7,6 +7,7 @@
 open Tse_store
 open Tse_schema
 open Tse_db
+module Metrics = Tse_obs.Metrics
 
 let attr_slots = 10
 
@@ -92,13 +93,56 @@ let measure_group ~objects ~writes n =
   { virtuals = n; incr_ns; oracle_ns; incr_evals; oracle_evals;
     quiet_ns; quiet_evals }
 
-let json_of groups ~smoke ~objects ~writes =
+(* Exercise the query engine on the bench fixture so the registry's
+   query.* counters are populated: one indexed equality lookup and one
+   full extent scan over the same class. *)
+let query_phase ~objects =
+  let db, _objs = mk_fixture ~full:false ~objects 10 in
+  let g = Database.graph db in
+  let item = (Schema_graph.find_by_name_exn g "Item").Klass.cid in
+  let indexes = Tse_query.Indexes.create db in
+  Tse_query.Indexes.ensure indexes item "f0";
+  let indexed, _ =
+    Tse_query.Engine.select_explain db indexes item
+      Expr.(attr "f0" === int ((0 + (0 * 37)) mod 100))
+  in
+  let scanned, _ =
+    Tse_query.Engine.select_explain db indexes item
+      Expr.(attr "f1" >= int 50)
+  in
+  (indexed, scanned)
+
+let json_of groups ~smoke ~objects ~writes ~indexed ~scanned =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Printf.bprintf b "  \"benchmark\": \"reclassify\",\n";
   Printf.bprintf b "  \"smoke\": %b,\n" smoke;
   Printf.bprintf b "  \"objects\": %d,\n" objects;
   Printf.bprintf b "  \"writes\": %d,\n" writes;
+  (* registry totals across every side of every group, plus the derived
+     ratios CI tooling reads without recomputing *)
+  let memo_hits = Metrics.find_counter "reclass.verdict_memo_hits" in
+  let evals = Metrics.find_counter "reclass.formula_evals" in
+  let verdicts = memo_hits + evals in
+  Printf.bprintf b "  \"metrics\": {\n";
+  Printf.bprintf b "    \"verdict_memo_hit_rate\": %.4f,\n"
+    (if verdicts = 0 then 0.0
+     else float_of_int memo_hits /. float_of_int verdicts);
+  Printf.bprintf b "    \"objects_visited_total\": %d,\n"
+    (Metrics.find_counter "reclass.objects_visited");
+  Printf.bprintf b "    \"untouched_attr_skips_total\": %d,\n"
+    (Metrics.find_counter "reclass.untouched_attr_skips");
+  Printf.bprintf b
+    "    \"query\": {\"indexed_rows_scanned\": %d, \
+     \"indexed_rows_returned\": %d, \"scan_rows_scanned\": %d, \
+     \"scan_rows_returned\": %d},\n"
+    indexed.Tse_query.Engine.rows_scanned
+    indexed.Tse_query.Engine.rows_returned
+    scanned.Tse_query.Engine.rows_scanned
+    scanned.Tse_query.Engine.rows_returned;
+  Printf.bprintf b "    \"registry\": %s\n"
+    (Metrics.to_json (Metrics.snapshot ()));
+  Printf.bprintf b "  },\n";
   Buffer.add_string b "  \"groups\": [\n";
   List.iteri
     (fun i g ->
@@ -115,6 +159,8 @@ let json_of groups ~smoke ~objects ~writes =
   Buffer.contents b
 
 let run ~smoke () =
+  (* scope the registry to this run so the metrics section is readable *)
+  Metrics.reset ();
   let objects = if smoke then 40 else 300 in
   let writes = if smoke then 400 else 4000 in
   Printf.printf
@@ -130,7 +176,8 @@ let run ~smoke () =
         g.virtuals g.incr_ns g.incr_evals g.oracle_ns g.oracle_evals
         (g.oracle_ns /. g.incr_ns) g.quiet_ns g.quiet_evals)
     groups;
-  let json = json_of groups ~smoke ~objects ~writes in
+  let indexed, scanned = query_phase ~objects in
+  let json = json_of groups ~smoke ~objects ~writes ~indexed ~scanned in
   let oc = open_out "BENCH_reclassify.json" in
   output_string oc json;
   close_out oc;

@@ -212,8 +212,8 @@ let cmd_insert_class s rest =
     evolve s vname (Change.Insert_class { cls; sup; sub })
   | _ -> failwith "usage: insert_class NAME between SUP SUB in VIEW"
 
-(* select from CLASS in VIEW where <expr> *)
-let cmd_select s rest =
+(* from CLASS in VIEW where <expr>, shared by select and explain *)
+let parse_query s usage rest =
   match words rest with
   | "from" :: cls :: "in" :: vname :: "where" :: _ ->
     let v = find_view s vname in
@@ -234,12 +234,31 @@ let cmd_select s rest =
       Tse_algebra.Surface.parse_expr
         (String.sub rest where_pos (String.length rest - where_pos))
     in
-    let plan = Tse_query.Engine.plan (db s) s.indexes cid pred in
-    let hits = Tse_query.Engine.select (db s) s.indexes cid pred in
-    Format.printf "plan: %a@." Tse_query.Engine.pp_plan plan;
-    Printf.printf "%d object(s): %s\n" (Oid.Set.cardinal hits)
-      (String.concat ", " (List.map Oid.to_string (Oid.Set.elements hits)))
-  | _ -> failwith "usage: select from CLASS in VIEW where EXPR"
+    (cid, pred)
+  | _ -> failwith usage
+
+let cmd_select s rest =
+  let cid, pred =
+    parse_query s "usage: select from CLASS in VIEW where EXPR" rest
+  in
+  let ex, hits = Tse_query.Engine.select_explain (db s) s.indexes cid pred in
+  Format.printf "plan: %a@." Tse_query.Engine.pp_plan ex.Tse_query.Engine.ex_plan;
+  Printf.printf "%d object(s): %s\n" (Oid.Set.cardinal hits)
+    (String.concat ", " (List.map Oid.to_string (Oid.Set.elements hits)))
+
+let cmd_explain s rest =
+  let cid, pred =
+    parse_query s "usage: explain from CLASS in VIEW where EXPR" rest
+  in
+  let ex = Tse_query.Engine.explain (db s) s.indexes cid pred in
+  Format.printf "%a@." Tse_query.Engine.pp_explain ex
+
+let cmd_stats rest =
+  let samples = Tse_obs.Metrics.snapshot () in
+  match words rest with
+  | [] | [ "text" ] -> Format.printf "%a" Tse_obs.Metrics.pp_text samples
+  | [ "json" ] -> print_endline (Tse_obs.Metrics.to_json samples)
+  | _ -> failwith "usage: stats [json]"
 
 let cmd_index s rest =
   match words rest with
@@ -361,7 +380,9 @@ let help () =
       "  merge V1 V2 as NAME                Section 7 version merging";
       "  defineVC N as (select from C where ...)   object-algebra view class";
       "  select from C in VIEW where EXPR   run a query (shows the plan)";
+      "  explain from C in VIEW where EXPR  plan, index, rows scanned/returned";
       "  index C ATTR in VIEW               build a maintained index";
+      "  stats [json]                       dump the metrics registry";
       "  check                              run the consistency oracle";
       "  save PATH / load PATH              persist / restore the whole catalog";
       "  help | quit";
@@ -395,6 +416,8 @@ let execute s line =
     | "delete_class" -> cmd_delete_class s rest
     | "populate" -> cmd_populate s rest
     | "select" -> cmd_select s rest
+    | "explain" -> cmd_explain s rest
+    | "stats" -> cmd_stats rest
     | "index" -> cmd_index s rest
     | "rename" -> cmd_rename s rest
     | "history" -> cmd_history s rest

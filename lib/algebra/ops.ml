@@ -25,6 +25,8 @@ let check_name db name =
 let register db ~name derivation props =
   check_name db name;
   let cid =
+    Tse_obs.Trace.with_span ~attrs:[ ("class", name) ] "evolve.derive"
+    @@ fun () ->
     Schema_graph.register_virtual (Database.graph db) ~name derivation props
   in
   Classification.integrate db cid

@@ -4,6 +4,7 @@ module Klass = Tse_schema.Klass
 module Schema_graph = Tse_schema.Schema_graph
 module Type_info = Tse_schema.Type_info
 module Database = Tse_db.Database
+module Trace = Tse_obs.Trace
 
 type cid = Klass.cid
 
@@ -168,32 +169,43 @@ let materialize_props graph cid intended =
 
 let integrate db cid =
   let graph = Database.graph db in
-  match find_duplicate db cid with
-  | Some existing ->
+  (* classify: decide where the class belongs (or that it already exists) *)
+  let placement =
+    Trace.with_span "evolve.classify" @@ fun () ->
+    match find_duplicate db cid with
+    | Some existing -> `Duplicate existing
+    | None ->
+      let k = Schema_graph.find_exn graph cid in
+      let derivation =
+        match Klass.derivation k with
+        | Some d -> d
+        | None -> invalid_arg "Classification.integrate: base class"
+      in
+      (* intended type computed before any linking mutates inheritance *)
+      let intended = intended_type db derivation in
+      link_by_derivation graph cid derivation intended;
+      (* never leave the new class disconnected (Section 6.6.1's ROOT rule) *)
+      if (Schema_graph.find_exn graph cid).supers = [] then
+        Schema_graph.add_edge graph ~sup:(Schema_graph.root graph) ~sub:cid;
+      `Placed (k, intended)
+  in
+  match placement with
+  | `Duplicate existing ->
     Schema_graph.remove graph cid;
     Database.note_removed_class db cid;
     existing
-  | None ->
-    let k = Schema_graph.find_exn graph cid in
-    let derivation =
-      match Klass.derivation k with
-      | Some d -> d
-      | None -> invalid_arg "Classification.integrate: base class"
-    in
-    (* intended type computed before any linking mutates inheritance *)
-    let intended = intended_type db derivation in
-    link_by_derivation graph cid derivation intended;
-    (* never leave the new class disconnected (Section 6.6.1's ROOT rule) *)
-    if (Schema_graph.find_exn graph cid).supers = [] then
-      Schema_graph.add_edge graph ~sup:(Schema_graph.root graph) ~sub:cid;
-    materialize_props graph cid intended;
-    repair_edges graph cid;
-    Database.note_new_class db cid;
-    (* populate the new class's extent from its sources' members *)
-    let candidates =
-      List.fold_left
-        (fun acc src -> Oid.Set.union acc (Database.extent db src))
-        Oid.Set.empty (Klass.sources k)
-    in
-    Oid.Set.iter (fun o -> Database.reclassify db o) candidates;
+  | `Placed (k, intended) ->
+    (* integrate: promote properties and repair inheritance edges *)
+    (Trace.with_span "evolve.integrate" @@ fun () ->
+     materialize_props graph cid intended;
+     repair_edges graph cid;
+     Database.note_new_class db cid);
+    (* reclassify: populate the new class's extent from its sources *)
+    (Trace.with_span "evolve.reclassify" @@ fun () ->
+     let candidates =
+       List.fold_left
+         (fun acc src -> Oid.Set.union acc (Database.extent db src))
+         Oid.Set.empty (Klass.sources k)
+     in
+     Oid.Set.iter (fun o -> Database.reclassify db o) candidates);
     cid

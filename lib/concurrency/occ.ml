@@ -1,6 +1,13 @@
 module Oid = Tse_store.Oid
 module Value = Tse_store.Value
 module Database = Tse_db.Database
+module Metrics = Tse_obs.Metrics
+
+let m_sessions = Metrics.counter "occ.sessions"
+let m_commits = Metrics.counter "occ.commits"
+let m_conflicts = Metrics.counter "occ.conflicts"
+let m_aborts = Metrics.counter "occ.aborts"
+let m_retries = Metrics.counter "occ.retries"
 
 type t = {
   db : Database.t;
@@ -37,6 +44,7 @@ let create db =
   t
 
 let begin_session mgr =
+  Metrics.incr m_sessions;
   { mgr; read_set = Oid.Tbl.create 16; write_log = []; active = true }
 
 let check_active s what =
@@ -76,10 +84,15 @@ let commit s =
     (* apply buffered writes; each bumps versions via the listener, which
        is what makes this commit visible to concurrent validators *)
     List.iter (fun (o, name, v) -> Database.set_attr s.mgr.db o name v) s.write_log;
+    Metrics.incr m_commits;
     Ok ()
-  | objects -> Error { objects = List.sort_uniq Oid.compare objects }
+  | objects ->
+    Metrics.incr m_conflicts;
+    Error { objects = List.sort_uniq Oid.compare objects }
 
-let abort s = s.active <- false
+let abort s =
+  Metrics.incr m_aborts;
+  s.active <- false
 let is_active s = s.active
 let reads s = Oid.Tbl.length s.read_set
 let writes s = List.length s.write_log
@@ -113,6 +126,7 @@ let commit_with_retry ?(attempts = 5) ?(backoff = 0.001) ?durable t f =
     | Error conflict ->
       if attempt >= attempts then raise (Too_many_conflicts conflict)
       else begin
+        Metrics.incr m_retries;
         let delay = Float.min max_backoff (backoff *. float_of_int attempt) in
         if delay > 0. then Unix.sleepf delay;
         go (attempt + 1)

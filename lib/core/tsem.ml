@@ -36,7 +36,12 @@ let evolve t ~view change =
       m "evolving view %s (v%d): %s" view old_view.View_schema.version
         (Change.to_string change));
   let classes_before = Schema_graph.size (Database.graph t.db) in
-  let new_view = Translator.apply t.db old_view change in
+  let new_view =
+    Tse_obs.Trace.with_span
+      ~attrs:[ ("view", view); ("change", Change.to_string change) ]
+      "evolve.change"
+    @@ fun () -> Translator.apply t.db old_view change
+  in
   let registered = History.replace t.history new_view in
   Log.info (fun m ->
       m "view %s replaced by v%d (%d new global classes)" view

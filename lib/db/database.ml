@@ -59,11 +59,23 @@ and event =
   | Bases_changed of Oid.t
 
 let default_nonconvergence_hook o =
-  Printf.eprintf
-    "tse: warning: derivation fixpoint for object %s did not converge \
-     within %d rounds (nonmonotone derivation); memberships may oscillate\n\
-     %!"
+  Tse_obs.Log.warn "db"
+    "derivation fixpoint for object %s did not converge within %d rounds \
+     (nonmonotone derivation); memberships may oscillate"
     (Oid.to_string o) (reclassify_fuel + 1)
+
+(* Reclassification-engine counters (see DESIGN.md §9). All are plain
+   field increments; eval_pred and the memo lookup are the hottest. *)
+module Metrics = Tse_obs.Metrics
+
+let m_objects_visited = Metrics.counter "reclass.objects_visited"
+let m_memo_hits = Metrics.counter "reclass.verdict_memo_hits"
+let m_evals = Metrics.counter "reclass.formula_evals"
+let m_noop_skips = Metrics.counter "reclass.verdict_noop_skips"
+let m_attr_skips = Metrics.counter "reclass.untouched_attr_skips"
+let m_rounds = Metrics.counter "reclass.fixpoint_rounds"
+let m_fuel_exhausted = Metrics.counter "reclass.fuel_exhausted"
+let m_nonconvergence = Metrics.counter "reclass.nonconvergence_warnings"
 
 let env_full_reclassify () =
   match Sys.getenv_opt "DB_FULL_RECLASSIFY" with
@@ -117,6 +129,7 @@ let set_full_reclassify t b =
 let set_nonconvergence_hook t f = t.nonconvergence_hook <- f
 
 let warn_nonconvergence t o =
+  Metrics.incr m_nonconvergence;
   if not t.nonconverge_warned then begin
     t.nonconverge_warned <- true;
     t.nonconvergence_hook o
@@ -355,11 +368,14 @@ let formula_holds t o current k =
 
 let eval_pred t o pred =
   t.formula_evals <- t.formula_evals + 1;
+  Metrics.incr m_evals;
   holds t o pred
 
 let cached_verdict t vs o cid pred =
   match Oid.Tbl.find_opt vs.verdicts cid with
-  | Some b -> b
+  | Some b ->
+    Metrics.incr m_memo_hits;
+    b
   | None ->
     let b = eval_pred t o pred in
     Oid.Tbl.replace vs.verdicts cid b;
@@ -412,6 +428,7 @@ let delta_events t o ~before ~after =
    index is rebuilt with a full per-class sweep — kept verbatim as the
    correctness oracle (DB_FULL_RECLASSIFY=1) and the bench baseline. *)
 let reclassify_oracle t o =
+  Metrics.incr m_objects_visited;
   let base = base_membership t o in
   let order = derivation_order t in
   let base_closure = isa_closure t base in
@@ -425,11 +442,13 @@ let reclassify_oracle t o =
      makes a select's In_class test true but the output happens to equal
      the base closure. *)
   let rec fix evaluated_under fuel =
+    Metrics.incr m_rounds;
     let next = membership_round t ~pred_fn ~base_closure ~order in
     set_membership_sync t o next;
     if Oid.Set.equal next evaluated_under then next
     else if fuel = 0 then begin
       (* nonmonotone derivations may not converge *)
+      Metrics.incr m_fuel_exhausted;
       warn_nonconvergence t o;
       next
     end
@@ -461,6 +480,7 @@ let apply_round t vs o ~prev ~next =
   end
 
 let run_incremental_fixpoint t vs o =
+  Metrics.incr m_objects_visited;
   let before = membership_set t o in
   let base_closure = isa_closure t (base_membership t o) in
   let order = derivation_order t in
@@ -471,12 +491,14 @@ let run_incremental_fixpoint t vs o =
      verdict invalidation makes the confirming round re-evaluate exactly
      the predicates a membership change can have flipped *)
   let rec fix fuel =
+    Metrics.incr m_rounds;
     let evaluated_under = !model_now in
     let next = membership_round t ~pred_fn ~base_closure ~order in
     apply_round t vs o ~prev:evaluated_under ~next;
     model_now := next;
     if Oid.Set.equal next evaluated_under then next
     else if fuel = 0 then begin
+      Metrics.incr m_fuel_exhausted;
       warn_nonconvergence t o;
       next
     end
@@ -538,6 +560,7 @@ let reclassify_incr t o dirty =
       true
   in
   if must_run then run_incremental_fixpoint t vs o
+  else Metrics.incr m_noop_skips
 
 let reclassify t o =
   if t.full_reclassify then reclassify_oracle t o
@@ -578,7 +601,8 @@ let set_attr t o name v =
     let dirty = Deps.selects_on_attr (deps t) name in
     (* an attribute no derivation predicate can observe: memberships are
        untouched, skip reclassification entirely *)
-    if not (Oid.Set.is_empty dirty) then reclassify_incr t o (Some dirty)
+    if Oid.Set.is_empty dirty then Metrics.incr m_attr_skips
+    else reclassify_incr t o (Some dirty)
   end
 
 (* Stored base membership is kept MINIMAL: a class implied by another

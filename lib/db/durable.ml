@@ -8,6 +8,13 @@ module Recovery = Tse_store.Recovery
 module Schema_graph = Tse_schema.Schema_graph
 module Schema_codec = Tse_schema.Schema_codec
 module Klass = Tse_schema.Klass
+module Metrics = Tse_obs.Metrics
+module Trace = Tse_obs.Trace
+
+let m_commits = Metrics.counter "durable.commits"
+let m_empty_commits = Metrics.counter "durable.empty_commits"
+let m_checkpoints = Metrics.counter "durable.checkpoints"
+let m_opens = Metrics.counter "durable.opens"
 
 type sync_policy = Every_commit | Group of int | Manual
 
@@ -166,6 +173,8 @@ let attach t =
         ())
 
 let open_dir ?policy ~dir () =
+  Metrics.incr m_opens;
+  Trace.with_span ~attrs:[ ("dir", dir) ] "durable.open" @@ fun () ->
   let policy =
     match policy with
     | Some p -> check_policy p
@@ -266,6 +275,7 @@ let set_policy t p =
 
 let commit t =
   check_open t "commit";
+  Trace.with_span "durable.commit" @@ fun () ->
   let db = t.database in
   let ops = List.rev_map (fun op -> Wal.Op op) t.pending in
   let bases_entry =
@@ -294,7 +304,10 @@ let commit t =
     if String.equal schema t.last_schema then []
     else [ Wal.Ext ("schema", schema) ]
   in
-  if ops <> [] || bases_entry <> [] || schema_entry <> [] then begin
+  if ops = [] && bases_entry = [] && schema_entry = [] then
+    Metrics.incr m_empty_commits
+  else begin
+    Metrics.incr m_commits;
     let gen_entry = [ Wal.Gen (Oid.Gen.peek (Heap.gen (Database.heap db))) ] in
     let entries = ops @ gen_entry @ bases_entry @ schema_entry in
     let seq = t.seq + 1 in
@@ -316,6 +329,8 @@ let commit t =
 
 let checkpoint t =
   check_open t "checkpoint";
+  Metrics.incr m_checkpoints;
+  Trace.with_span "durable.checkpoint" @@ fun () ->
   commit t;
   (* the snapshot folds the whole in-memory image, so everything framed
      must be on disk first: a checkpoint is always a sync barrier *)

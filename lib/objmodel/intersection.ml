@@ -83,15 +83,15 @@ let class_for t cids =
       in
       Hashtbl.replace t.intersections key cid;
       t.created <- t.created + 1;
-      t.stats.classes_created <- t.stats.classes_created + 1;
+      Stats.incr_classes t.stats;
       cid
   end
 
 let create_object t cid =
   let o = Heap.alloc t.heap ~tag:(string_of_int (Oid.to_int cid)) in
   Oid.Tbl.replace t.requested o [ cid ];
-  t.stats.oids_allocated <- t.stats.oids_allocated + 1;
-  t.stats.objects_created <- t.stats.objects_created + 1;
+  Stats.incr_oids t.stats;
+  Stats.incr_objects t.stats;
   o
 
 let destroy_object t o =
@@ -107,9 +107,9 @@ let reclassify t o target =
   if not (Oid.equal (class_of t o) target) then begin
     let tmp = Heap.alloc t.heap ~tag:(string_of_int (Oid.to_int target)) in
     Heap.copy_slots t.heap ~src:o ~dst:tmp;
-    t.stats.copies <- t.stats.copies + 1;
+    Stats.incr_copies t.stats;
     Heap.swap_identity t.heap o tmp;
-    t.stats.identity_swaps <- t.stats.identity_swaps + 1;
+    Stats.incr_swaps t.stats;
     Heap.free t.heap tmp
   end
 
@@ -183,7 +183,7 @@ let set_attr t o attr_name v =
   let old = Heap.get_slot t.heap o attr_name in
   let old_bytes = if Value.equal old Value.Null then 0 else Value.size_bytes old in
   let new_bytes = if Value.equal v Value.Null then 0 else Value.size_bytes v in
-  t.stats.data_bytes <- t.stats.data_bytes - old_bytes + new_bytes;
+  Stats.add_data_bytes t.stats (new_bytes - old_bytes);
   Heap.set_slot t.heap o attr_name v
 
 let cast t o cid = if is_member t o cid then Some o else None

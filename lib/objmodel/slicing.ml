@@ -61,8 +61,8 @@ let add_impl t o cid =
     Heap.set_slot t.heap o ("__impl:" ^ string_of_int (Oid.to_int cid)) (Value.Ref impl);
     Oid.Tbl.replace tbl cid impl;
     Oid.Tbl.replace t.owners impl o;
-    t.stats.oids_allocated <- t.stats.oids_allocated + 1;
-    t.stats.pointers <- t.stats.pointers + 2
+    Stats.incr_oids t.stats;
+    Stats.add_pointers t.stats 2
   end
 
 let remove_impl t o cid =
@@ -103,8 +103,8 @@ let set_membership t o cids =
 let create_object t cid =
   let o = Heap.alloc t.heap ~tag:conceptual_tag in
   Oid.Tbl.replace t.impls o (Oid.Tbl.create 4);
-  t.stats.oids_allocated <- t.stats.oids_allocated + 1;
-  t.stats.objects_created <- t.stats.objects_created + 1;
+  Stats.incr_oids t.stats;
+  Stats.incr_objects t.stats;
   ensure_member t o cid;
   o
 
@@ -212,7 +212,7 @@ let set_attr t o attr_name v =
     let old = Heap.get_slot t.heap impl attr_name in
     let old_bytes = if Value.equal old Value.Null then 0 else Value.size_bytes old in
     let new_bytes = if Value.equal v Value.Null then 0 else Value.size_bytes v in
-    t.stats.data_bytes <- t.stats.data_bytes - old_bytes + new_bytes;
+    Stats.add_data_bytes t.stats (new_bytes - old_bytes);
     Heap.set_slot t.heap impl attr_name v
 
 let cast t o cid =
@@ -228,8 +228,8 @@ let rebuild ~graph ~heap ~stats =
       if String.equal cell.tag conceptual_tag then begin
         let tbl = Oid.Tbl.create 4 in
         Oid.Tbl.replace t.impls cell.oid tbl;
-        stats.oids_allocated <- stats.oids_allocated + 1;
-        stats.objects_created <- stats.objects_created + 1
+        Stats.incr_oids stats;
+        Stats.incr_objects stats
       end);
   Heap.iter heap (fun (cell : Heap.cell) ->
       let tag = cell.tag in
@@ -249,14 +249,14 @@ let rebuild ~graph ~heap ~stats =
           | Some tbl -> Oid.Tbl.replace tbl cid cell.oid
           | None -> failwith "Slicing.rebuild: orphan implementation object");
           Oid.Tbl.replace t.owners cell.oid owner;
-          stats.oids_allocated <- stats.oids_allocated + 1;
-          stats.pointers <- stats.pointers + 2;
+          Stats.incr_oids stats;
+          Stats.add_pointers stats 2;
           (* recount payload bytes (skip bookkeeping slots) *)
           List.iter
             (fun (name, v) ->
               if String.length name < 2 || String.sub name 0 2 <> "__" then
                 if not (Value.equal v Value.Null) then
-                  stats.data_bytes <- stats.data_bytes + Value.size_bytes v)
+                  Stats.add_data_bytes stats (Value.size_bytes v))
             (Heap.slots heap cell.oid)
         | _ -> failwith "Slicing.rebuild: implementation object without owner"
       end);

@@ -1,0 +1,56 @@
+type level = Quiet | Error | Warn | Info | Debug
+
+let severity = function
+  | Quiet -> 0
+  | Error -> 1
+  | Warn -> 2
+  | Info -> 3
+  | Debug -> 4
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "off" | "none" -> Some Quiet
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let level_to_string = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let default_level () =
+  match Sys.getenv_opt "TSE_LOG_LEVEL" with
+  | None -> Warn
+  | Some s -> ( match level_of_string s with Some l -> l | None -> Warn)
+
+let level = ref None
+
+let current_level () =
+  match !level with
+  | Some l -> l
+  | None ->
+    let l = default_level () in
+    level := Some l;
+    l
+
+let set_level l = level := Some l
+
+let log lvl tag fmt =
+  if severity lvl <= severity (current_level ()) && lvl <> Quiet then (
+    Printf.eprintf "[%s] %s: " (level_to_string lvl) tag;
+    Printf.kfprintf
+      (fun oc ->
+        output_char oc '\n';
+        flush oc)
+      stderr fmt)
+  else Printf.ifprintf stderr fmt
+
+let err tag fmt = log Error tag fmt
+let warn tag fmt = log Warn tag fmt
+let info tag fmt = log Info tag fmt
+let debug tag fmt = log Debug tag fmt

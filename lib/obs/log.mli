@@ -1,0 +1,23 @@
+(** Tiny leveled logger for warning/diagnostic paths.
+
+    The level comes from [TSE_LOG_LEVEL] (one of [quiet], [error],
+    [warn], [info], [debug]; default [warn]) and can be overridden
+    programmatically.  Output goes to stderr, prefixed with the level
+    and a subsystem tag.  Disabled levels cost one comparison and
+    format nothing. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+val level_of_string : string -> level option
+val level_to_string : level -> string
+
+val set_level : level -> unit
+val current_level : unit -> level
+
+val err : string -> ('a, out_channel, unit) format -> 'a
+(** [err tag fmt ...] — the first argument is the subsystem tag, e.g.
+    ["db"] or ["wal"]. *)
+
+val warn : string -> ('a, out_channel, unit) format -> 'a
+val info : string -> ('a, out_channel, unit) format -> 'a
+val debug : string -> ('a, out_channel, unit) format -> 'a

@@ -1,0 +1,254 @@
+type counter = { c_name : string; c_labels : (string * string) list; mutable c_value : int }
+
+type gauge = { g_name : string; g_labels : (string * string) list; mutable g_value : float }
+
+type histogram = {
+  hg_name : string;
+  hg_labels : (string * string) list;
+  hg_bounds : float array;  (* ascending upper bounds *)
+  hg_counts : int array;  (* per-bucket (non-cumulative), length bounds+1; last = +inf *)
+  mutable hg_sum : float;
+  mutable hg_count : int;
+}
+
+type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
+
+(* Keyed by name + canonically sorted labels. *)
+let registry : (string * (string * string) list, metric) Hashtbl.t =
+  Hashtbl.create 64
+
+let canon labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_histogram _ -> "histogram"
+
+let register name labels make describe =
+  let key = (name, canon labels) in
+  match Hashtbl.find_opt registry key with
+  | Some m -> m
+  | None ->
+    (* Same name under different labels must keep one kind. *)
+    Hashtbl.iter
+      (fun (n, _) m ->
+        if String.equal n name && not (String.equal (kind_name m) describe)
+        then
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a %s" name
+               (kind_name m)))
+      registry;
+    let m = make (snd key) in
+    Hashtbl.replace registry key m;
+    m
+
+let counter ?(labels = []) name =
+  match
+    register name labels
+      (fun labels -> M_counter { c_name = name; c_labels = labels; c_value = 0 })
+      "counter"
+  with
+  | M_counter c -> c
+  | m ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %s is a %s" name (kind_name m))
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge ?(labels = []) name =
+  match
+    register name labels
+      (fun labels -> M_gauge { g_name = name; g_labels = labels; g_value = 0. })
+      "gauge"
+  with
+  | M_gauge g -> g
+  | m -> invalid_arg (Printf.sprintf "Metrics.gauge: %s is a %s" name (kind_name m))
+
+let set_gauge g v = g.g_value <- v
+let add_gauge g v = g.g_value <- g.g_value +. v
+let gauge_value g = g.g_value
+
+let default_buckets = [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048.; 4096. ]
+
+let histogram ?(labels = []) ?(buckets = default_buckets) name =
+  let bounds = Array.of_list (List.sort_uniq compare buckets) in
+  match
+    register name labels
+      (fun labels ->
+        M_histogram
+          {
+            hg_name = name;
+            hg_labels = labels;
+            hg_bounds = bounds;
+            hg_counts = Array.make (Array.length bounds + 1) 0;
+            hg_sum = 0.;
+            hg_count = 0;
+          })
+      "histogram"
+  with
+  | M_histogram h -> h
+  | m ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %s is a %s" name (kind_name m))
+
+let observe h v =
+  let n = Array.length h.hg_bounds in
+  let rec bucket i = if i >= n then n else if v <= h.hg_bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.hg_counts.(i) <- h.hg_counts.(i) + 1;
+  h.hg_sum <- h.hg_sum +. v;
+  h.hg_count <- h.hg_count + 1
+
+type hist_snapshot = {
+  h_buckets : (float * int) list;
+  h_inf : int;
+  h_count : int;
+  h_sum : float;
+}
+
+type value = Counter of int | Gauge of float | Histogram of hist_snapshot
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : value;
+}
+
+let snapshot_hist h =
+  (* Cumulative counts per bound, Prometheus-style. *)
+  let acc = ref 0 in
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i b ->
+           acc := !acc + h.hg_counts.(i);
+           (b, !acc))
+         h.hg_bounds)
+  in
+  {
+    h_buckets = buckets;
+    h_inf = h.hg_counts.(Array.length h.hg_bounds);
+    h_count = h.hg_count;
+    h_sum = h.hg_sum;
+  }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun _ m acc ->
+      let s =
+        match m with
+        | M_counter c ->
+          { s_name = c.c_name; s_labels = c.c_labels; s_value = Counter c.c_value }
+        | M_gauge g ->
+          { s_name = g.g_name; s_labels = g.g_labels; s_value = Gauge g.g_value }
+        | M_histogram h ->
+          {
+            s_name = h.hg_name;
+            s_labels = h.hg_labels;
+            s_value = Histogram (snapshot_hist h);
+          }
+      in
+      s :: acc)
+    registry []
+  |> List.sort (fun a b ->
+         match String.compare a.s_name b.s_name with
+         | 0 -> compare a.s_labels b.s_labels
+         | c -> c)
+
+let find_counter ?(labels = []) name =
+  match Hashtbl.find_opt registry (name, canon labels) with
+  | Some (M_counter c) -> c.c_value
+  | _ -> 0
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c -> c.c_value <- 0
+      | M_gauge g -> g.g_value <- 0.
+      | M_histogram h ->
+        Array.fill h.hg_counts 0 (Array.length h.hg_counts) 0;
+        h.hg_sum <- 0.;
+        h.hg_count <- 0)
+    registry
+
+(* ---- rendering ------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let key_of s =
+  match s.s_labels with
+  | [] -> s.s_name
+  | labels ->
+    let body =
+      String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+    in
+    Printf.sprintf "%s{%s}" s.s_name body
+
+let bound_str b =
+  if Float.is_integer b then Printf.sprintf "%.0f" b else Printf.sprintf "%g" b
+
+let to_json samples =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":" (json_escape (key_of s)));
+      match s.s_value with
+      | Counter n -> Buffer.add_string buf (string_of_int n)
+      | Gauge v -> Buffer.add_string buf (float_str v)
+      | Histogram h ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"buckets\":{" h.h_count
+             (float_str h.h_sum));
+        List.iteri
+          (fun j (b, c) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"le_%s\":%d" (json_escape (bound_str b)) c))
+          h.h_buckets;
+        if h.h_buckets <> [] then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"le_inf\":%d}}" h.h_count))
+    samples;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp_text ppf samples =
+  List.iter
+    (fun s ->
+      match s.s_value with
+      | Counter n -> Format.fprintf ppf "%-42s %d@." (key_of s) n
+      | Gauge v -> Format.fprintf ppf "%-42s %s@." (key_of s) (float_str v)
+      | Histogram h ->
+        Format.fprintf ppf "%-42s count=%d sum=%s@." (key_of s) h.h_count
+          (float_str h.h_sum);
+        List.iter
+          (fun (b, c) ->
+            Format.fprintf ppf "%-42s   le %s: %d@." "" (bound_str b) c)
+          h.h_buckets;
+        Format.fprintf ppf "%-42s   le +inf: %d@." "" h.h_count)
+    samples

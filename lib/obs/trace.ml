@@ -1,0 +1,239 @@
+type span = {
+  name : string;
+  start_us : int;
+  dur_us : int;
+  attrs : (string * string) list;
+}
+
+(* Wall clock in microseconds, clamped to be monotonic within the
+   process (gettimeofday can step backwards under NTP). *)
+let last_us = ref 0
+
+let now_us () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let t = if t > !last_us then t else !last_us in
+  last_us := t;
+  t
+
+type sink_state =
+  | Uninitialized
+  | Disabled
+  | Emit of (string -> unit) * (unit -> unit)  (* emit, flush *)
+
+let state = ref Uninitialized
+
+let init_from_env () =
+  match Sys.getenv_opt "TSE_TRACE" with
+  | None | Some "" -> state := Disabled
+  | Some path -> (
+    match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+    | exception Sys_error _ -> state := Disabled
+    | oc ->
+      at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+      state :=
+        Emit
+          ( (fun line ->
+              output_string oc line;
+              output_char oc '\n'),
+            fun () -> flush oc ))
+
+let sink () =
+  (match !state with Uninitialized -> init_from_env () | _ -> ());
+  !state
+
+let set_sink = function
+  | Some emit -> state := Emit (emit, fun () -> ())
+  | None -> state := Uninitialized
+
+let enabled () = match sink () with Emit _ -> true | _ -> false
+
+let flush () = match !state with Emit (_, fl) -> fl () | _ -> ()
+
+let json_escape = Metrics.json_escape
+
+let emit_span emit name start_us dur_us attrs =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"start_us\":%d,\"dur_us\":%d"
+       (json_escape name) start_us dur_us);
+  (match attrs with
+  | [] -> ()
+  | attrs ->
+    Buffer.add_string buf ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      attrs;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}';
+  emit (Buffer.contents buf)
+
+let with_span ?(attrs = []) name f =
+  match sink () with
+  | Emit (emit, _) -> (
+    let t0 = now_us () in
+    match f () with
+    | v ->
+      emit_span emit name t0 (now_us () - t0) attrs;
+      v
+    | exception e ->
+      emit_span emit name t0 (now_us () - t0)
+        (attrs @ [ ("err", Printexc.to_string e) ]);
+      raise e)
+  | _ -> f ()
+
+let event ?(attrs = []) name =
+  match sink () with
+  | Emit (emit, _) -> emit_span emit name (now_us ()) 0 attrs
+  | _ -> ()
+
+(* ---- parser --------------------------------------------------------- *)
+(* A minimal recursive-descent JSON parser covering exactly the shapes
+   the emitter produces: objects whose values are strings, integers, or
+   one level of string->string object. *)
+
+exception Bad of string
+
+type jv = Jstr of string | Jint of int | Jobj of (string * jv) list
+
+let parse_json (s : string) : jv =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance (); loop ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance (); loop ()
+        | Some '/' -> Buffer.add_char buf '/'; advance (); loop ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); loop ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); loop ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); loop ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with Failure _ -> fail "bad \\u escape"
+          in
+          (* The emitter only escapes control chars this way. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else fail "unsupported \\u escape";
+          pos := !pos + 4;
+          loop ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some i -> i
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' -> parse_obj ()
+    | Some ('-' | '0' .. '9') -> Jint (parse_int ())
+    | _ -> fail "expected value"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then (advance (); Jobj [])
+    else begin
+      let fields = ref [] in
+      let rec loop () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); loop ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      loop ();
+      Jobj (List.rev !fields)
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_line line =
+  match parse_json line with
+  | exception Bad msg -> Error msg
+  | Jobj fields -> (
+    let str k = match List.assoc_opt k fields with Some (Jstr s) -> Some s | _ -> None in
+    let int k = match List.assoc_opt k fields with Some (Jint i) -> Some i | _ -> None in
+    match (str "name", int "start_us", int "dur_us") with
+    | Some name, Some start_us, Some dur_us ->
+      let attrs =
+        match List.assoc_opt "attrs" fields with
+        | Some (Jobj kvs) ->
+          List.filter_map
+            (fun (k, v) -> match v with Jstr s -> Some (k, s) | _ -> None)
+            kvs
+        | _ -> []
+      in
+      Ok { name; start_us; dur_us; attrs }
+    | _ -> Error "missing name/start_us/dur_us")
+  | _ -> Error "not a JSON object"
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> loop (lineno + 1) acc
+          | line -> (
+            match parse_line line with
+            | Ok s -> loop (lineno + 1) (s :: acc)
+            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+        in
+        loop 1 [])

@@ -1,0 +1,41 @@
+(** Span-based tracer with a JSONL sink.
+
+    Off by default; enabled by pointing [TSE_TRACE] at a file path, in
+    which case every completed span appends one JSON object per line:
+
+    {v {"name":"durable.commit","start_us":1722850000000000,"dur_us":123,"attrs":{"batches":"2"}} v}
+
+    Timing uses a monotonic-clamped wall clock in microseconds.  When
+    disabled, [with_span] costs one flag check plus the closure call. *)
+
+type span = {
+  name : string;
+  start_us : int;  (** microseconds since the Unix epoch *)
+  dur_us : int;
+  attrs : (string * string) list;
+}
+
+val enabled : unit -> bool
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk and, if tracing is on, emit a span covering it.  A
+    span is emitted even when the thunk raises (with an ["err"] attr);
+    the exception is re-raised. *)
+
+val event : ?attrs:(string * string) list -> string -> unit
+(** Zero-duration marker span. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Override the sink (mainly for tests).  [Some emit] receives each
+    JSON line without the trailing newline; [None] restores the
+    [TSE_TRACE]-derived behaviour. *)
+
+val flush : unit -> unit
+
+val parse_line : string -> (span, string) result
+(** Parse one JSONL trace line back into a span — the inverse of the
+    emitter, used by tests and tooling to round-trip trace files. *)
+
+val parse_file : string -> (span list, string) result
+(** Parse every non-empty line of a trace file; fails on the first
+    malformed line with its line number. *)

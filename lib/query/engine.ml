@@ -2,10 +2,18 @@ module Oid = Tse_store.Oid
 module Value = Tse_store.Value
 module Expr = Tse_schema.Expr
 module Database = Tse_db.Database
+module Metrics = Tse_obs.Metrics
+module Trace = Tse_obs.Trace
 
 type cid = Tse_schema.Klass.cid
 
 type plan = Index_lookup of { attr : string; residual : bool } | Extent_scan
+
+let m_selects = Metrics.counter "query.selects"
+let m_index_lookups = Metrics.counter "query.index_lookups"
+let m_extent_scans = Metrics.counter "query.extent_scans"
+let m_rows_scanned = Metrics.counter "query.rows_scanned"
+let m_rows_returned = Metrics.counter "query.rows_returned"
 
 (* Split a predicate into [attr = const] conjuncts and the rest. *)
 let rec equality_conjuncts = function
@@ -54,20 +62,65 @@ let choose db indexes cid pred =
 
 let plan db indexes cid pred = fst (choose db indexes cid pred)
 
-let select db indexes cid pred =
-  match choose db indexes cid pred with
-  | Extent_scan, _ ->
-    Oid.Set.filter (fun o -> Database.holds db o pred) (Database.extent db cid)
-  | Index_lookup _, Some (attr, v, residual, has_residual) -> begin
-    match Indexes.lookup indexes cid attr v with
-    | None -> (* index dropped concurrently: scan *)
-      Oid.Set.filter (fun o -> Database.holds db o pred) (Database.extent db cid)
-    | Some candidates ->
-      if has_residual then
-        Oid.Set.filter (fun o -> Database.holds db o residual) candidates
-      else candidates
-  end
-  | Index_lookup _, None -> assert false
+type explain = {
+  ex_plan : plan;  (* the plan that actually ran *)
+  chosen_index : string option;
+  key_cardinality : int option;
+  rows_scanned : int;
+  rows_returned : int;
+}
+
+(* One instrumented core: every select goes through here so the explain
+   numbers and the registry counters describe the execution that really
+   happened (including the dropped-index fallback to a scan). *)
+let select_explain db indexes cid pred =
+  Metrics.incr m_selects;
+  Trace.with_span "query.select" @@ fun () ->
+  let scan () =
+    let extent = Database.extent db cid in
+    let result =
+      Oid.Set.filter (fun o -> Database.holds db o pred) extent
+    in
+    (Extent_scan, Oid.Set.cardinal extent, result)
+  in
+  let ran, scanned, result =
+    match choose db indexes cid pred with
+    | Extent_scan, _ -> scan ()
+    | (Index_lookup _ as p), Some (attr, v, residual, has_residual) -> begin
+      match Indexes.lookup indexes cid attr v with
+      | None -> (* index dropped concurrently: scan *)
+        scan ()
+      | Some candidates ->
+        let result =
+          if has_residual then
+            Oid.Set.filter (fun o -> Database.holds db o residual) candidates
+          else candidates
+        in
+        (p, Oid.Set.cardinal candidates, result)
+    end
+    | Index_lookup _, None -> assert false
+  in
+  let chosen_index =
+    match ran with Index_lookup { attr; _ } -> Some attr | Extent_scan -> None
+  in
+  (match ran with
+  | Index_lookup _ -> Metrics.incr m_index_lookups
+  | Extent_scan -> Metrics.incr m_extent_scans);
+  let returned = Oid.Set.cardinal result in
+  Metrics.add m_rows_scanned scanned;
+  Metrics.add m_rows_returned returned;
+  ( {
+      ex_plan = ran;
+      chosen_index;
+      key_cardinality =
+        Option.bind chosen_index (Indexes.key_cardinality indexes cid);
+      rows_scanned = scanned;
+      rows_returned = returned;
+    },
+    result )
+
+let select db indexes cid pred = snd (select_explain db indexes cid pred)
+let explain db indexes cid pred = fst (select_explain db indexes cid pred)
 
 let count db indexes cid pred = Oid.Set.cardinal (select db indexes cid pred)
 
@@ -76,3 +129,11 @@ let pp_plan ppf = function
     Format.fprintf ppf "index lookup on %s%s" attr
       (if residual then " + residual filter" else "")
   | Extent_scan -> Format.pp_print_string ppf "extent scan"
+
+let pp_explain ppf e =
+  Format.fprintf ppf "@[<v>plan: %a@ index: %s@ key cardinality: %s@ \
+                      rows scanned: %d@ rows returned: %d@]"
+    pp_plan e.ex_plan
+    (Option.value e.chosen_index ~default:"-")
+    (match e.key_cardinality with Some n -> string_of_int n | None -> "-")
+    e.rows_scanned e.rows_returned

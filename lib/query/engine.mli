@@ -26,4 +26,29 @@ val select :
 
 val count : Tse_db.Database.t -> Indexes.t -> cid -> Tse_schema.Expr.t -> int
 
+type explain = {
+  ex_plan : plan;  (** the plan that actually ran (a concurrently dropped
+                       index degrades to [Extent_scan]) *)
+  chosen_index : string option;  (** indexed attribute used, if any *)
+  key_cardinality : int option;
+      (** distinct keys in the chosen index at execution time *)
+  rows_scanned : int;
+      (** objects examined: the extent for a scan, the key's candidate
+          bucket for an index lookup *)
+  rows_returned : int;
+}
+
+val explain :
+  Tse_db.Database.t -> Indexes.t -> cid -> Tse_schema.Expr.t -> explain
+(** Run the query and report how it was executed. *)
+
+val select_explain :
+  Tse_db.Database.t ->
+  Indexes.t ->
+  cid ->
+  Tse_schema.Expr.t ->
+  explain * Tse_store.Oid.Set.t
+(** {!explain} and the result set from one execution. *)
+
 val pp_plan : Format.formatter -> plan -> unit
+val pp_explain : Format.formatter -> explain -> unit

@@ -41,3 +41,13 @@ val short : string -> len:int -> int option
 (** [Some k] if the point is armed with [Short_write n] ([k = min n len]):
     the caller must write exactly [k] of its [len] bytes and then raise
     [Crash name] itself. One-shot. *)
+
+val hit_count : string -> int
+(** How many times the guarded point was reached (armed or not) since
+    process start. Also exported to the metrics registry as
+    [failpoint.hits{site=<name>}]. *)
+
+val trip_count : string -> int
+(** How many times an armed action actually fired at this point. Also
+    exported as [failpoint.trips{site=<name>}]. Crash-matrix tests use
+    this to prove the fault they armed was really exercised. *)

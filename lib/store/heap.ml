@@ -1,8 +1,20 @@
+module Metrics = Tse_obs.Metrics
+
 type cell = {
   oid : Oid.t;
   mutable tag : string;
   slots : (string, Value.t) Hashtbl.t;
 }
+
+(* Slot-level traffic counters, aggregated across every heap instance.
+   These sit on the hottest paths in the system (formula evaluation
+   reads), so they must stay plain field increments. *)
+let m_reads = Metrics.counter "heap.slot_reads"
+let m_writes = Metrics.counter "heap.slot_writes"
+let m_allocs = Metrics.counter "heap.allocs"
+let m_frees = Metrics.counter "heap.frees"
+let m_swaps = Metrics.counter "heap.identity_swaps"
+let m_rollbacks = Metrics.counter "heap.journal_aborts"
 
 type op =
   | Alloc of Oid.t * string
@@ -41,6 +53,7 @@ let record t undo =
 let alloc t ~tag =
   let oid = Oid.Gen.fresh t.gen in
   Oid.Tbl.replace t.cells oid { oid; tag; slots = Hashtbl.create 4 };
+  Metrics.incr m_allocs;
   log t (Alloc (oid, tag));
   record t (fun () ->
       Oid.Tbl.remove t.cells oid;
@@ -51,6 +64,7 @@ let alloc_raw t ~oid ~tag =
   if Oid.Tbl.mem t.cells oid then invalid_arg "Heap.alloc_raw: oid in use";
   Oid.Gen.mark_used t.gen oid;
   Oid.Tbl.replace t.cells oid { oid; tag; slots = Hashtbl.create 4 };
+  Metrics.incr m_allocs;
   log t (Alloc (oid, tag));
   record t (fun () ->
       Oid.Tbl.remove t.cells oid;
@@ -62,6 +76,7 @@ let free t oid =
   | None -> ()
   | Some cell ->
     Oid.Tbl.remove t.cells oid;
+    Metrics.incr m_frees;
     log t (Free oid);
     record t (fun () ->
         Oid.Tbl.replace t.cells oid cell;
@@ -88,6 +103,7 @@ let set_tag t oid tag =
       log t (Set_tag (oid, old)))
 
 let get_slot t oid name =
+  Metrics.incr m_reads;
   match Hashtbl.find_opt (find_exn t oid).slots name with
   | Some v -> v
   | None -> Value.Null
@@ -96,6 +112,7 @@ let set_slot t oid name v =
   let cell = find_exn t oid in
   let old = Hashtbl.find_opt cell.slots name in
   Hashtbl.replace cell.slots name v;
+  Metrics.incr m_writes;
   log t (Set_slot (oid, name, v));
   record t (fun () ->
       match old with
@@ -117,6 +134,7 @@ let remove_slot t oid name =
   | None -> ()
   | Some old ->
     Hashtbl.remove cell.slots name;
+    Metrics.incr m_writes;
     log t (Remove_slot (oid, name));
     record t (fun () ->
         Hashtbl.replace cell.slots name old;
@@ -145,6 +163,7 @@ let swap_identity t a b =
   in
   assign ca tag_b slots_b;
   assign cb tag_a slots_a;
+  Metrics.incr m_swaps;
   log t (Swap (a, b));
   record t (fun () ->
       assign ca tag_a slots_a;
@@ -177,6 +196,7 @@ let pop_journal_abort t =
   match t.journals with
   | [] -> invalid_arg "Heap.pop_journal_abort: no open journal"
   | j :: rest ->
+    Metrics.incr m_rollbacks;
     (* Entries must not re-journal while undoing. *)
     t.journals <- [];
     (* An entry that fails to undo must not abandon the rest of the

@@ -1,3 +1,13 @@
+module Metrics = Tse_obs.Metrics
+module Trace = Tse_obs.Trace
+
+let m_replays = Metrics.counter "recovery.replays"
+let m_batches_applied = Metrics.counter "recovery.batches_applied"
+let m_entries_applied = Metrics.counter "recovery.entries_applied"
+let m_batches_skipped = Metrics.counter "recovery.batches_skipped"
+let m_truncations = Metrics.counter "recovery.truncations"
+let m_dropped_bytes = Metrics.counter "recovery.dropped_bytes"
+
 type report = {
   batches_applied : int;
   entries_applied : int;
@@ -27,6 +37,8 @@ let apply_op heap = function
   | Heap.Swap (a, b) -> Heap.swap_identity heap a b
 
 let replay ~heap ~path ~after ~on_ext =
+  Metrics.incr m_replays;
+  Trace.with_span ~attrs:[ ("path", path) ] "recovery.replay" @@ fun () ->
   let scan = Wal.scan_file ~path in
   let applied = ref 0 and entries = ref 0 and skipped = ref 0 in
   let last_seq = ref after in
@@ -64,7 +76,14 @@ let replay ~heap ~path ~after ~on_ext =
           (Printf.sprintf "Recovery: batch at offset %d failed to apply: %s"
              off what)));
   let dropped = scan.file_len - scan.valid_len in
-  if dropped > 0 then Wal.truncate_file ~path scan.valid_len;
+  if dropped > 0 then begin
+    Wal.truncate_file ~path scan.valid_len;
+    Metrics.incr m_truncations;
+    Metrics.add m_dropped_bytes dropped
+  end;
+  Metrics.add m_batches_applied !applied;
+  Metrics.add m_entries_applied !entries;
+  Metrics.add m_batches_skipped !skipped;
   {
     batches_applied = !applied;
     entries_applied = !entries;

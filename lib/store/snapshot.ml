@@ -69,6 +69,16 @@ let to_string heap =
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
+let m_encodes = Tse_obs.Metrics.counter "snapshot.encodes"
+let m_decodes = Tse_obs.Metrics.counter "snapshot.decodes"
+
+(* Instrumented shadow: spans cover the whole encode, counters aggregate
+   across heaps. *)
+let to_string heap =
+  Tse_obs.Trace.with_span "snapshot.encode" @@ fun () ->
+  Tse_obs.Metrics.incr m_encodes;
+  to_string heap
+
 let fail lineno line what =
   failwith (Printf.sprintf "Snapshot: line %d: %s in %S" lineno what line)
 
@@ -110,6 +120,11 @@ let of_string s =
   List.iteri (fun i line -> handle (i + 1) line) lines;
   if not !seen_end then failwith "Snapshot: missing end marker";
   heap
+
+let of_string s =
+  Tse_obs.Trace.with_span "snapshot.decode" @@ fun () ->
+  Tse_obs.Metrics.incr m_decodes;
+  of_string s
 
 let () = Storage.declare_failpoints "snapshot"
 let save heap path = Storage.write_atomic ~fp:"snapshot" ~path (to_string heap)

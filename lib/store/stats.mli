@@ -4,8 +4,13 @@
     on managerial storage: the slicing model pays
     [(1 + n_impl) * sizeof_oid + n_impl * 2 * sizeof_pointer] per object,
     the intersection-class model pays [sizeof_oid]. These constants and the
-    mutable counters that the two object models update live here so the
-    bench harness can report both sides with identical bookkeeping. *)
+    counters that the two object models update live here so the bench
+    harness can report both sides with identical bookkeeping.
+
+    The record is private: all mutation goes through the functions below,
+    which mirror every update into the global metrics registry
+    ([table1.*] names) so the Table 1 numbers appear alongside the rest of
+    the system's counters. Reads remain plain field accesses. *)
 
 val sizeof_oid : int
 (** Bytes charged per object identifier (8, a 64-bit OID). *)
@@ -13,7 +18,7 @@ val sizeof_oid : int
 val sizeof_pointer : int
 (** Bytes charged per intra-store pointer (8). *)
 
-type t = {
+type t = private {
   mutable oids_allocated : int;  (** OIDs handed out (conceptual + impl). *)
   mutable pointers : int;  (** conceptual<->implementation link pointers *)
   mutable data_bytes : int;  (** payload bytes of slot values *)
@@ -26,7 +31,21 @@ type t = {
 }
 
 val create : unit -> t
+
 val reset : t -> unit
+(** Zero the per-model struct. The registry aggregates are monotonic and
+    are not rewound. *)
+
+val incr_oids : t -> unit
+val add_pointers : t -> int -> unit
+
+val add_data_bytes : t -> int -> unit
+(** Delta in bytes; may be negative (value overwritten by a smaller one). *)
+
+val incr_classes : t -> unit
+val incr_objects : t -> unit
+val incr_copies : t -> unit
+val incr_swaps : t -> unit
 
 val managerial_bytes : t -> int
 (** [oids_allocated * sizeof_oid + pointers * sizeof_pointer]: Table 1's

@@ -1,3 +1,5 @@
+module Metrics = Tse_obs.Metrics
+
 type entry =
   | Op of Heap.op
   | Gen of int
@@ -18,6 +20,19 @@ type t = {
   mutable pending_batches : int;
   stats : stats;
 }
+
+(* The per-log [stats] record above stays the API benches and tests
+   consume; these registry handles aggregate the same events across
+   every open log for the global [stats]/metrics surface. *)
+let m_fsyncs = Metrics.counter "wal.fsyncs"
+let m_syncs = Metrics.counter "wal.syncs"
+let m_batches_framed = Metrics.counter "wal.batches_framed"
+let m_bytes_framed = Metrics.counter "wal.bytes_framed"
+let m_resets = Metrics.counter "wal.resets"
+
+let m_group_batches =
+  Metrics.histogram ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. ]
+    "wal.group_batches"
 
 let fp_append_before = "wal.append.before"
 let fp_append_short = "wal.append.short"
@@ -172,6 +187,8 @@ let frame t ~seq entries =
   let record = encode_record ~seq entries in
   t.stats.batches_framed <- t.stats.batches_framed + 1;
   t.stats.bytes_framed <- t.stats.bytes_framed + String.length record;
+  Metrics.incr m_batches_framed;
+  Metrics.add m_bytes_framed (String.length record);
   record
 
 let append_nosync t ~seq entries =
@@ -203,6 +220,9 @@ let sync t =
     Unix.fsync fd;
     t.stats.fsyncs <- t.stats.fsyncs + 1;
     t.stats.syncs <- t.stats.syncs + 1;
+    Metrics.incr m_fsyncs;
+    Metrics.incr m_syncs;
+    Metrics.observe m_group_batches (float_of_int batches);
     if batches > t.stats.max_batches_per_sync then
       t.stats.max_batches_per_sync <- batches
   end
@@ -227,6 +247,9 @@ let append t ~seq entries =
   Unix.fsync fd;
   t.stats.fsyncs <- t.stats.fsyncs + 1;
   t.stats.syncs <- t.stats.syncs + 1;
+  Metrics.incr m_fsyncs;
+  Metrics.incr m_syncs;
+  Metrics.observe m_group_batches 1.;
   if t.stats.max_batches_per_sync = 0 then t.stats.max_batches_per_sync <- 1
 
 let reset t =
@@ -238,7 +261,9 @@ let reset t =
   Failpoint.hit fp_truncate_before;
   Unix.ftruncate fd 0;
   Unix.fsync fd;
-  t.stats.fsyncs <- t.stats.fsyncs + 1
+  t.stats.fsyncs <- t.stats.fsyncs + 1;
+  Metrics.incr m_fsyncs;
+  Metrics.incr m_resets
 
 let close t =
   match t.fd with

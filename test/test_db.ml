@@ -348,6 +348,82 @@ let test_membership_delta_events () =
   check Alcotest.int "oracle delta" 1 (List.length !deltas);
   Alcotest.(check (list string)) "consistent" [] (Database.check db)
 
+(* The event stream is a contract for derived structures (indexes,
+   caches): creation is announced before any init write is visible, and
+   each logical change fires exactly one event — one Membership_delta
+   even when a write crosses several class predicates at once, one
+   Bases_changed per base-membership edit. *)
+let test_event_exactly_once () =
+  let u = uni () in
+  let db = u.db in
+  let sixty =
+    Tse_algebra.Ops.select db ~name:"SixtyPlus" ~src:u.person
+      Expr.(attr "age" >= int 60)
+  in
+  let sixty_five =
+    Tse_algebra.Ops.select db ~name:"SixtyFivePlus" ~src:u.person
+      Expr.(attr "age" >= int 65)
+  in
+  let events = ref [] in
+  Database.add_listener db (fun ev -> events := ev :: !events);
+  let count p = List.length (List.filter p (List.rev !events)) in
+  let n_created () =
+    count (function Database.Object_created _ -> true | _ -> false)
+  in
+  let n_bases () =
+    count (function Database.Bases_changed _ -> true | _ -> false)
+  in
+  let n_deltas () =
+    count (function Database.Membership_delta _ -> true | _ -> false)
+  in
+  let p =
+    Database.create_object db u.person
+      ~init:[ ("name", Value.String "p"); ("age", Value.Int 30) ]
+  in
+  check Alcotest.int "one Object_created" 1 (n_created ());
+  check Alcotest.int "creation: one Bases_changed" 1 (n_bases ());
+  check Alcotest.int "creation below thresholds: no delta" 0 (n_deltas ());
+  (* Object_created strictly precedes every init Attr_set *)
+  let seen_create = ref false in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Database.Object_created _ -> seen_create := true
+      | Database.Attr_set _ ->
+        Alcotest.(check bool) "no write before creation event" true
+          !seen_create
+      | _ -> ())
+    (List.rev !events);
+  (* one write crossing both predicates: exactly one delta, both gains *)
+  events := [];
+  Database.set_attr db p "age" (Value.Int 70);
+  check Alcotest.int "threshold write: one delta" 1 (n_deltas ());
+  (match
+     List.find_opt
+       (function Database.Membership_delta _ -> true | _ -> false)
+       !events
+   with
+  | Some (Database.Membership_delta (o, added, removed)) ->
+    Alcotest.(check bool) "delta names the object" true (Oid.equal o p);
+    Alcotest.(check bool) "gained both selects" true
+      (List.exists (Oid.equal sixty) added
+      && List.exists (Oid.equal sixty_five) added);
+    check Alcotest.int "nothing lost" 0 (List.length removed)
+  | _ -> Alcotest.fail "expected a membership delta");
+  check Alcotest.int "attr write: no Bases_changed" 0 (n_bases ());
+  (* a write that changes no membership fires no delta *)
+  events := [];
+  Database.set_attr db p "age" (Value.Int 75);
+  check Alcotest.int "same side of both predicates: no delta" 0 (n_deltas ());
+  (* each base-membership edit fires exactly one Bases_changed *)
+  events := [];
+  Database.add_base_membership db p u.staff;
+  check Alcotest.int "add base: one Bases_changed" 1 (n_bases ());
+  events := [];
+  Database.remove_base_membership db p u.staff;
+  check Alcotest.int "remove base: one Bases_changed" 1 (n_bases ());
+  Alcotest.(check (list string)) "consistent" [] (Database.check db)
+
 let suite =
   [
     Alcotest.test_case "create + extent closure" `Quick test_create_and_extents;
@@ -376,4 +452,6 @@ let suite =
       test_create_event_order;
     Alcotest.test_case "membership deltas drive extents" `Quick
       test_membership_delta_events;
+    Alcotest.test_case "events fire exactly once per change" `Quick
+      test_event_exactly_once;
   ]

@@ -340,11 +340,22 @@ let run_crash_case ?policy ~name ~action ~expect ~op () =
   let pre = fingerprint db in
   Database.set_attr db o1 "age" (Value.Int 99);
   let post = fingerprint db in
+  let hits0 = Failpoint.hit_count name in
+  let trips0 = Failpoint.trip_count name in
   Failpoint.arm name action;
   (try
      op d;
      Alcotest.failf "%s: expected a crash" name
    with Failpoint.Crash _ -> ());
+  (* the per-site counters prove the armed failpoint actually fired,
+     not that the operation failed for some unrelated reason *)
+  check Alcotest.int
+    (Printf.sprintf "%s: failpoint tripped exactly once" name)
+    (trips0 + 1) (Failpoint.trip_count name);
+  check Alcotest.bool
+    (Printf.sprintf "%s: site was reached" name)
+    true
+    (Failpoint.hit_count name > hits0);
   Failpoint.reset ();
   (* the process "died": reopen from disk *)
   let d2, report = Durable.open_dir ?policy ~dir () in

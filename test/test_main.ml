@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "tse"
     [
+      ("obs", Test_obs.suite);
       ("store", Test_store.suite);
       ("schema", Test_schema.suite);
       ("objmodel", Test_objmodel.suite);

@@ -1,0 +1,267 @@
+(* Observability subsystem: metrics registry semantics, trace JSONL
+   round-trip, and log-level parsing.  The registry is process-global
+   and shared with the instrumented libraries, so these tests use
+   test-local metric names and delta-based assertions. *)
+
+module Metrics = Tse_obs.Metrics
+module Trace = Tse_obs.Trace
+module Log = Tse_obs.Log
+
+let test_counter_basics () =
+  let c = Metrics.counter "test_obs.basic" in
+  let v0 = Metrics.counter_value c in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "incr + add" (v0 + 5) (Metrics.counter_value c);
+  Alcotest.(check int)
+    "find_counter sees the same cell" (v0 + 5)
+    (Metrics.find_counter "test_obs.basic")
+
+let test_registration_idempotent () =
+  let a = Metrics.counter "test_obs.same" in
+  let b = Metrics.counter "test_obs.same" in
+  Metrics.incr a;
+  Metrics.incr b;
+  Alcotest.(check int)
+    "both handles mutate one cell" (Metrics.counter_value a)
+    (Metrics.counter_value b)
+
+let test_labels_distinct () =
+  let a = Metrics.counter ~labels:[ ("site", "a") ] "test_obs.labeled" in
+  let b = Metrics.counter ~labels:[ ("site", "b") ] "test_obs.labeled" in
+  let a0 = Metrics.counter_value a and b0 = Metrics.counter_value b in
+  Metrics.incr a;
+  Alcotest.(check int) "labeled a bumped" (a0 + 1) (Metrics.counter_value a);
+  Alcotest.(check int) "labeled b untouched" b0 (Metrics.counter_value b);
+  (* label order must not matter for identity *)
+  let c1 =
+    Metrics.counter ~labels:[ ("x", "1"); ("y", "2") ] "test_obs.multi"
+  in
+  let c2 =
+    Metrics.counter ~labels:[ ("y", "2"); ("x", "1") ] "test_obs.multi"
+  in
+  Metrics.incr c1;
+  Alcotest.(check int)
+    "label order canonicalized" (Metrics.counter_value c1)
+    (Metrics.counter_value c2)
+
+let test_kind_conflict () =
+  ignore (Metrics.counter "test_obs.kind");
+  Alcotest.check_raises "gauge under a counter name"
+    (Invalid_argument "Metrics.gauge: test_obs.kind is a counter") (fun () ->
+      ignore (Metrics.gauge "test_obs.kind"));
+  (* same name under different labels must also keep one kind *)
+  Alcotest.check_raises "labeled gauge under a counter name"
+    (Invalid_argument "Metrics: test_obs.kind already registered as a counter")
+    (fun () ->
+      ignore (Metrics.gauge ~labels:[ ("x", "y") ] "test_obs.kind"))
+
+let test_gauge () =
+  let g = Metrics.gauge "test_obs.gauge" in
+  Metrics.set_gauge g 2.5;
+  Metrics.add_gauge g (-1.0);
+  Alcotest.(check (float 1e-9)) "set + add" 1.5 (Metrics.gauge_value g)
+
+let test_histogram () =
+  let h =
+    Metrics.histogram ~buckets:[ 1.0; 10.0; 100.0 ] "test_obs.hist"
+  in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 50.0; 500.0 ];
+  let snap =
+    List.find_map
+      (fun s ->
+        if String.equal s.Metrics.s_name "test_obs.hist" then
+          match s.Metrics.s_value with
+          | Metrics.Histogram hs -> Some hs
+          | _ -> None
+        else None)
+      (Metrics.snapshot ())
+  in
+  match snap with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hs ->
+    (* cumulative counts: le_1=2 (0.5, 1.0 — bounds are inclusive),
+       le_10=3, le_100=4, inf picks up 500 *)
+    Alcotest.(check (list (pair (float 1e-9) int)))
+      "cumulative buckets"
+      [ (1.0, 2); (10.0, 3); (100.0, 4) ]
+      hs.Metrics.h_buckets;
+    Alcotest.(check int) "overflow bucket" 1 hs.Metrics.h_inf;
+    Alcotest.(check int) "count" 5 hs.Metrics.h_count;
+    Alcotest.(check (float 1e-6)) "sum" 556.5 hs.Metrics.h_sum
+
+let test_find_absent () =
+  Alcotest.(check int)
+    "absent counter reads 0" 0
+    (Metrics.find_counter "test_obs.never_registered")
+
+let test_reset () =
+  let c = Metrics.counter "test_obs.reset_me" in
+  Metrics.incr c;
+  Metrics.reset ();
+  Alcotest.(check int) "zeroed" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Alcotest.(check int)
+    "registration survives reset" 1
+    (Metrics.find_counter "test_obs.reset_me")
+
+let test_to_json () =
+  let c = Metrics.counter "test_obs.json \"quoted\"" in
+  Metrics.incr c;
+  let json = Metrics.to_json (Metrics.snapshot ()) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    "quoted name escaped" true
+    (contains json "\"test_obs.json \\\"quoted\\\"\"")
+
+(* ---- tracer --------------------------------------------------------- *)
+
+let with_capture f =
+  let lines = ref [] in
+  Trace.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) f;
+  List.rev !lines
+
+let test_span_roundtrip () =
+  let lines =
+    with_capture (fun () ->
+        Trace.with_span ~attrs:[ ("k", "v\"x") ] "test.span" (fun () -> ()))
+  in
+  match lines with
+  | [ line ] -> (
+    match Trace.parse_line line with
+    | Error msg -> Alcotest.fail ("parse_line: " ^ msg)
+    | Ok s ->
+      Alcotest.(check string) "name" "test.span" s.Trace.name;
+      Alcotest.(check bool) "dur non-negative" true (s.Trace.dur_us >= 0);
+      Alcotest.(check (list (pair string string)))
+        "attrs round-trip"
+        [ ("k", "v\"x") ]
+        s.Trace.attrs)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length l))
+
+let test_span_on_exception () =
+  let lines =
+    with_capture (fun () ->
+        try Trace.with_span "test.boom" (fun () -> failwith "kaboom")
+        with Failure _ -> ())
+  in
+  match lines with
+  | [ line ] -> (
+    match Trace.parse_line line with
+    | Error msg -> Alcotest.fail ("parse_line: " ^ msg)
+    | Ok s -> (
+      match List.assoc_opt "err" s.Trace.attrs with
+      | Some e ->
+        Alcotest.(check bool)
+          "exception text captured" true
+          (String.length e > 0)
+      | None -> Alcotest.fail "no err attr on failed span"))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length l))
+
+let test_nested_spans () =
+  let lines =
+    with_capture (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner" (fun () -> ());
+            Trace.event ~attrs:[ ("n", "1") ] "mark"))
+  in
+  let names =
+    List.map
+      (fun l ->
+        match Trace.parse_line l with
+        | Ok s -> s.Trace.name
+        | Error m -> Alcotest.fail m)
+      lines
+  in
+  (* children complete (and emit) before their parent *)
+  Alcotest.(check (list string)) "emission order" [ "inner"; "mark"; "outer" ]
+    names
+
+let test_parse_rejects_garbage () =
+  let bad l =
+    match Trace.parse_line l with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "not json" true (bad "nonsense");
+  Alcotest.(check bool) "trailing garbage" true
+    (bad "{\"name\":\"x\",\"start_us\":1,\"dur_us\":2}tail");
+  Alcotest.(check bool) "missing fields" true (bad "{\"name\":\"x\"}")
+
+let test_parse_file () =
+  let path = Filename.temp_file "tse_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      Trace.set_sink
+        (Some
+           (fun l ->
+             output_string oc l;
+             output_char oc '\n'));
+      Fun.protect
+        ~finally:(fun () -> Trace.set_sink None)
+        (fun () ->
+          for i = 1 to 3 do
+            Trace.with_span
+              ~attrs:[ ("i", string_of_int i) ]
+              "file.span"
+              (fun () -> ())
+          done);
+      close_out oc;
+      match Trace.parse_file path with
+      | Error msg -> Alcotest.fail ("parse_file: " ^ msg)
+      | Ok spans ->
+        Alcotest.(check int) "three spans" 3 (List.length spans);
+        Alcotest.(check (list string))
+          "attrs in order"
+          [ "1"; "2"; "3" ]
+          (List.map (fun s -> List.assoc "i" s.Trace.attrs) spans))
+
+(* ---- logger --------------------------------------------------------- *)
+
+let test_log_levels () =
+  let lvl = Alcotest.testable (Fmt.of_to_string Log.level_to_string) ( = ) in
+  Alcotest.(check (option lvl)) "warn" (Some Log.Warn)
+    (Log.level_of_string "warn");
+  Alcotest.(check (option lvl)) "warning alias" (Some Log.Warn)
+    (Log.level_of_string "warning");
+  Alcotest.(check (option lvl)) "quiet" (Some Log.Quiet)
+    (Log.level_of_string "quiet");
+  Alcotest.(check (option lvl)) "case-insensitive" (Some Log.Debug)
+    (Log.level_of_string "DEBUG");
+  Alcotest.(check (option lvl)) "unknown" None (Log.level_of_string "loud");
+  let saved = Log.current_level () in
+  Fun.protect
+    ~finally:(fun () -> Log.set_level saved)
+    (fun () ->
+      Log.set_level Log.Error;
+      Alcotest.(check lvl) "set/current" Log.Error (Log.current_level ());
+      (* disabled level formats nothing and must not raise *)
+      Log.debug "test" "invisible %d" 42)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "registration idempotent" `Quick
+      test_registration_idempotent;
+    Alcotest.test_case "labels distinguish metrics" `Quick test_labels_distinct;
+    Alcotest.test_case "kind conflict rejected" `Quick test_kind_conflict;
+    Alcotest.test_case "gauge" `Quick test_gauge;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "find_counter absent" `Quick test_find_absent;
+    Alcotest.test_case "reset keeps registration" `Quick test_reset;
+    Alcotest.test_case "json rendering escapes" `Quick test_to_json;
+    Alcotest.test_case "span round-trip" `Quick test_span_roundtrip;
+    Alcotest.test_case "span on exception" `Quick test_span_on_exception;
+    Alcotest.test_case "nested span emission order" `Quick test_nested_spans;
+    Alcotest.test_case "parser rejects garbage" `Quick
+      test_parse_rejects_garbage;
+    Alcotest.test_case "parse_file round-trip" `Quick test_parse_file;
+    Alcotest.test_case "log levels" `Quick test_log_levels;
+  ]

@@ -248,9 +248,13 @@ let test_snapshot_load_missing_file () =
 
 let test_stats () =
   let s = Stats.create () in
-  s.Stats.oids_allocated <- 10;
-  s.Stats.pointers <- 4;
-  s.Stats.objects_created <- 5;
+  for _ = 1 to 10 do
+    Stats.incr_oids s
+  done;
+  Stats.add_pointers s 4;
+  for _ = 1 to 5 do
+    Stats.incr_objects s
+  done;
   check Alcotest.int "managerial bytes" ((10 * 8) + (4 * 8))
     (Stats.managerial_bytes s);
   check (Alcotest.float 0.001) "oids per object" 2.0 (Stats.oids_per_object s);
