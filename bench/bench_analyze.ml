@@ -1,0 +1,173 @@
+(* Static-analyzer benchmark: whole-schema analysis throughput across
+   schema sizes, and the admission-gate overhead on the evolution
+   pipeline (TSE_ANALYZE=enforce vs off). Emits BENCH_analyze.json and
+   enforces the headline claims in-source: every generated fixture is
+   diagnostic-clean, and the gate costs a bounded fraction of a change. *)
+
+open Tse_store
+open Tse_schema
+open Tse_db
+open Tse_core
+open Tse_workload
+module Metrics = Tse_obs.Metrics
+module Analysis = Tse_analysis.Analysis
+
+let time_ns_per_op f ~ops =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9 /. float_of_int ops
+
+type schema_row = {
+  classes : int;
+  virtuals : int;
+  analyze_ns : float;
+  sr_classes_checked : int;
+  sr_exprs : int;
+  sr_errors : int;
+  sr_warnings : int;
+}
+
+let measure_schema ~reps (classes, virtuals) =
+  let rs = Random_schema.generate ~seed:7 ~classes ~virtuals ~objects:0 () in
+  let g = Database.graph rs.db in
+  let report = Analysis.analyze g in
+  let analyze_ns =
+    time_ns_per_op
+      (fun () ->
+        for _ = 1 to reps do
+          ignore (Analysis.analyze g)
+        done)
+      ~ops:reps
+  in
+  {
+    classes;
+    virtuals;
+    analyze_ns;
+    sr_classes_checked = report.Analysis.classes_checked;
+    sr_exprs = report.Analysis.exprs_checked;
+    sr_errors = List.length (Analysis.errors report);
+    sr_warnings = List.length (Analysis.warnings report);
+  }
+
+(* Gate overhead: one university fixture per side, a fixed sequence of
+   gate-relevant changes (methods to typecheck, attributes to conform)
+   applied through the full Tsem pipeline with the gate off vs
+   enforcing. The translator pipeline dominates; the per-change delta is
+   the gate's price. *)
+let gate_changes n =
+  List.concat
+    (List.init n (fun i ->
+         [
+           Change.Add_attribute
+             {
+               cls = "Student";
+               def = Change.attr (Printf.sprintf "ga%d" i) Value.TBool;
+             };
+           Change.Add_method
+             {
+               cls = "Person";
+               method_name = Printf.sprintf "gm%d" i;
+               body = Expr.Arith (Expr.Add, Expr.attr "age", Expr.int i);
+             };
+         ]))
+
+let measure_gate ~changes policy =
+  let u = University.build () in
+  ignore (University.populate u ~n:12);
+  let tsem = Tsem.of_database u.db in
+  ignore
+    (Tsem.define_view_by_names tsem ~name:"V"
+       [ "Person"; "Student"; "Staff"; "TeachingStaff"; "SupportStaff";
+         "TA"; "Grad"; "Grader" ]);
+  Admission.set_policy policy;
+  let cs = gate_changes changes in
+  let ops = List.length cs in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun c -> ignore (Tsem.evolve tsem ~view:"V" c)) cs;
+  let dt = Unix.gettimeofday () -. t0 in
+  dt *. 1e9 /. float_of_int ops
+
+let json_of rows ~smoke ~gate_changes ~off_ns ~enforce_ns =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"benchmark\": \"analyze\",\n";
+  Printf.bprintf b "  \"smoke\": %b,\n" smoke;
+  Buffer.add_string b "  \"schemas\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"classes\": %d, \"virtuals\": %d, \"analyze_ns\": %.1f, \
+         \"classes_checked\": %d, \"exprs_checked\": %d, \"errors\": %d, \
+         \"warnings\": %d}%s\n"
+        r.classes r.virtuals r.analyze_ns r.sr_classes_checked r.sr_exprs
+        r.sr_errors r.sr_warnings
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Printf.bprintf b
+    "  \"gate\": {\"changes\": %d, \"off_ns_per_change\": %.1f, \
+     \"enforce_ns_per_change\": %.1f, \"overhead_pct\": %.2f},\n"
+    gate_changes off_ns enforce_ns
+    (100. *. (enforce_ns -. off_ns) /. off_ns);
+  Printf.bprintf b "  \"metrics\": {\n";
+  Printf.bprintf b "    \"gate_checks\": %d,\n"
+    (Metrics.find_counter "analysis.gate_checks");
+  Printf.bprintf b "    \"gate_errors\": %d,\n"
+    (Metrics.find_counter "analysis.gate_errors");
+  Printf.bprintf b "    \"gate_rejections\": %d,\n"
+    (Metrics.find_counter "analysis.gate_rejections");
+  Printf.bprintf b "    \"registry\": %s\n"
+    (Metrics.to_json (Metrics.snapshot ()));
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+let run ~smoke () =
+  Metrics.reset ();
+  let reps = if smoke then 5 else 50 in
+  let sizes =
+    if smoke then [ (20, 10) ] else [ (20, 10); (100, 50); (300, 150) ]
+  in
+  Printf.printf "static analyzer: whole-schema analysis throughput\n%!";
+  let rows = List.map (measure_schema ~reps) sizes in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  classes=%3d virtuals=%3d  analyze %10.1f ns/op  (%d classes, %d \
+         exprs, %d errors, %d warnings)\n"
+        r.classes r.virtuals r.analyze_ns r.sr_classes_checked r.sr_exprs
+        r.sr_errors r.sr_warnings)
+    rows;
+  let changes = if smoke then 10 else 60 in
+  let off_ns = measure_gate ~changes Admission.Off in
+  let enforce_ns = measure_gate ~changes Admission.Enforce in
+  let overhead = 100. *. (enforce_ns -. off_ns) /. off_ns in
+  Printf.printf
+    "admission gate: %d changes/side  off %.1f ns/change  enforce %.1f \
+     ns/change  overhead %.2f%%\n"
+    (2 * changes) off_ns enforce_ns overhead;
+  let json =
+    json_of rows ~smoke ~gate_changes:(2 * changes) ~off_ns ~enforce_ns
+  in
+  let oc = open_out "BENCH_analyze.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_analyze.json\n";
+  (* headline claims, enforced where the numbers are produced *)
+  List.iter
+    (fun r ->
+      if r.sr_errors <> 0 then begin
+        Printf.printf
+          "FAIL: generated schema (classes=%d) is not diagnostic-clean\n"
+          r.classes;
+        exit 1
+      end)
+    rows;
+  if (not smoke) && overhead > 25.0 then begin
+    Printf.printf "FAIL: admission-gate overhead above 25%% per change\n";
+    exit 1
+  end

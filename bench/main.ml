@@ -391,6 +391,10 @@ let () =
     Bench_commit.run ~smoke:(List.mem "--smoke" argv) ();
     exit 0
   end;
+  if List.mem "analyze" argv then begin
+    Bench_analyze.run ~smoke:(List.mem "--smoke" argv) ();
+    exit 0
+  end;
   Printf.printf
     "TSE benchmark harness — one section per paper table/figure + ablations\n";
   table1_structural ();

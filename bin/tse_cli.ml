@@ -253,6 +253,16 @@ let cmd_explain s rest =
   let ex = Tse_query.Engine.explain (db s) s.indexes cid pred in
   Format.printf "%a@." Tse_query.Engine.pp_explain ex
 
+let cmd_lint s rest =
+  let report = Tse_analysis.Analysis.analyze (Database.graph (db s)) in
+  (match words rest with
+  | [] | [ "text" ] ->
+    Format.printf "%a" Tse_analysis.Analysis.pp_report report;
+    Format.print_flush ()
+  | [ "json" ] -> print_endline (Tse_analysis.Analysis.report_to_json report)
+  | _ -> failwith "usage: lint [json]");
+  report
+
 let cmd_stats rest =
   let samples = Tse_obs.Metrics.snapshot () in
   match words rest with
@@ -382,6 +392,7 @@ let help () =
       "  select from C in VIEW where EXPR   run a query (shows the plan)";
       "  explain from C in VIEW where EXPR  plan, index, rows scanned/returned";
       "  index C ATTR in VIEW               build a maintained index";
+      "  lint [json]                        static analysis of the global schema";
       "  stats [json]                       dump the metrics registry";
       "  check                              run the consistency oracle";
       "  save PATH / load PATH              persist / restore the whole catalog";
@@ -417,6 +428,7 @@ let execute s line =
     | "populate" -> cmd_populate s rest
     | "select" -> cmd_select s rest
     | "explain" -> cmd_explain s rest
+    | "lint" -> ignore (cmd_lint s rest)
     | "stats" -> cmd_stats rest
     | "index" -> cmd_index s rest
     | "rename" -> cmd_rename s rest
@@ -513,6 +525,25 @@ let checkpoint dir =
     (Durable.seq d);
   Durable.close d
 
+(* ---------------- static analysis ---------------- *)
+
+let lint format schema seed catalog =
+  let db =
+    match catalog with
+    | Some path -> fst (Catalog.load path)
+    | None -> db (make_session schema seed)
+  in
+  let report = Tse_analysis.Analysis.analyze (Database.graph db) in
+  (match format with
+  | "text" ->
+    Format.printf "%a" Tse_analysis.Analysis.pp_report report;
+    Format.print_flush ()
+  | "json" -> print_endline (Tse_analysis.Analysis.report_to_json report)
+  | other ->
+    Printf.eprintf "error: unknown format %s (text|json)\n" other;
+    exit 2);
+  if not (Tse_analysis.Analysis.is_clean report) then exit 1
+
 open Cmdliner
 
 let schema_arg =
@@ -532,6 +563,27 @@ let repl_term = Term.(const repl $ schema_arg $ seed_arg $ script_arg)
 let dir_arg =
   let doc = "Durable database directory (snapshot + write-ahead log)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let lint_format_arg =
+  let doc = "Output format: text or json." in
+  Arg.(value & pos 0 string "text" & info [] ~docv:"FORMAT" ~doc)
+
+let catalog_arg =
+  let doc =
+    "Lint the schema of a saved catalog (see the repl's save command) \
+     instead of a built-in one."
+  in
+  Arg.(value & opt (some string) None & info [ "catalog" ] ~docv:"PATH" ~doc)
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static schema analyzer (expression typechecking + \
+          derivation linting) over a database schema and print the \
+          diagnostics. Exits 1 if any error-severity diagnostic is \
+          reported.")
+    Term.(const lint $ lint_format_arg $ schema_arg $ seed_arg $ catalog_arg)
 
 let repl_cmd =
   Cmd.v
@@ -561,6 +613,6 @@ let cmd =
     ~default:repl_term
     (Cmd.info "tse_cli" ~version:"1.0"
        ~doc:"Interactive shell for the Transparent Schema Evolution system")
-    [ repl_cmd; recover_cmd; checkpoint_cmd ]
+    [ repl_cmd; recover_cmd; checkpoint_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,165 @@
+open Tse_schema
+
+type capacity = Augmenting | Preserving | Reducing
+
+let capacity_to_string = function
+  | Augmenting -> "augmenting"
+  | Preserving -> "preserving"
+  | Reducing -> "reducing"
+
+let derivation_capacity = function
+  | Klass.Refine (props, _) ->
+      if List.exists Prop.is_stored props then Augmenting else Preserving
+  | Klass.Hide _ -> Reducing
+  | Klass.Select _ | Klass.Refine_from _ | Klass.Union _ | Klass.Intersect _
+  | Klass.Difference _ ->
+      Preserving
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  facts : (string * capacity) list;
+  classes_checked : int;
+  exprs_checked : int;
+}
+
+(* The derived-method reference graph, Deps-style conservative: a method
+   name is one node wherever it is defined, and an edge m -> n exists
+   when any body registered under m reads n and n is a method name. *)
+let method_bodies g =
+  let bodies : (string, Expr.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun p ->
+          match p.Prop.body with
+          | Prop.Method b ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt bodies p.Prop.name)
+              in
+              Hashtbl.replace bodies p.Prop.name (b :: prev)
+          | Prop.Stored _ -> ())
+        k.Klass.local_props)
+    (Schema_graph.classes g);
+  bodies
+
+let method_cycles g =
+  let bodies = method_bodies g in
+  let succs name =
+    match Hashtbl.find_opt bodies name with
+    | None -> []
+    | Some bs ->
+        List.concat_map Expr.free_attrs bs
+        |> List.filter (Hashtbl.mem bodies)
+        |> List.sort_uniq String.compare
+  in
+  let finished = Hashtbl.create 16 in
+  let cycles = ref [] in
+  let rec dfs path name =
+    if List.mem name path then begin
+      let rec upto acc = function
+        | [] -> acc
+        | x :: _ when String.equal x name -> acc
+        | x :: rest -> upto (x :: acc) rest
+      in
+      let members = List.sort_uniq String.compare (name :: upto [] path) in
+      if not (List.mem members !cycles) then cycles := members :: !cycles
+    end
+    else if not (Hashtbl.mem finished name) then begin
+      List.iter (dfs (name :: path)) (succs name);
+      Hashtbl.replace finished name ()
+    end
+  in
+  Hashtbl.iter (fun name _ -> dfs [] name) bodies;
+  List.sort compare !cycles
+
+let analyze g =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let facts = ref [] in
+  let exprs = ref 0 in
+  let classes = Schema_graph.classes g in
+  List.iter
+    (fun k ->
+      let cls = k.Klass.name in
+      List.iter
+        (fun p ->
+          match p.Prop.body with
+          | Prop.Method body ->
+              incr exprs;
+              List.iter emit
+                (Typecheck.check_method g k.Klass.cid ~cls ~prop:p.Prop.name
+                   body)
+          | Prop.Stored _ -> ())
+        k.Klass.local_props;
+      match k.Klass.kind with
+      | Klass.Base -> ()
+      | Klass.Virtual deriv ->
+          facts := (cls, derivation_capacity deriv) :: !facts;
+          List.iter
+            (fun src ->
+              if not (Schema_graph.mem g src) then
+                emit
+                  (Diagnostic.makef ~cls Diagnostic.Error ~code:"E110"
+                     "virtual class %s has a dangling source class" cls))
+            (Klass.sources k);
+          (match deriv with
+          | Klass.Select (src, pred) when Schema_graph.mem g src ->
+              incr exprs;
+              List.iter emit
+                (Typecheck.check_predicate g src ~cls ~prop:"select" pred)
+          | _ -> ()))
+    classes;
+  List.iter
+    (fun members ->
+      emit
+        (Diagnostic.makef Diagnostic.Error ~code:"E111"
+           "derived methods reference each other in a cycle: %s"
+           (String.concat ", " members)))
+    (method_cycles g);
+  {
+    diagnostics = List.sort_uniq Diagnostic.compare !diags;
+    facts =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) !facts;
+    classes_checked = List.length classes;
+    exprs_checked = !exprs;
+  }
+
+let errors r = List.filter Diagnostic.is_error r.diagnostics
+let warnings r = List.filter Diagnostic.is_warning r.diagnostics
+let is_clean r = errors r = []
+
+let pp_report ppf r =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) r.diagnostics;
+  List.iter
+    (fun (cls, cap) ->
+      Format.fprintf ppf "fact [%s]: capacity-%s derivation@." cls
+        (capacity_to_string cap))
+    r.facts;
+  Format.fprintf ppf "%d errors, %d warnings (%d classes, %d expressions)@."
+    (List.length (errors r))
+    (List.length (warnings r))
+    r.classes_checked r.exprs_checked
+
+let report_to_json r =
+  let buf = Buffer.create 512 in
+  let esc = Tse_obs.Metrics.json_escape in
+  Printf.bprintf buf
+    "{\"errors\":%d,\"warnings\":%d,\"classes_checked\":%d,\"exprs_checked\":%d,"
+    (List.length (errors r))
+    (List.length (warnings r))
+    r.classes_checked r.exprs_checked;
+  Buffer.add_string buf "\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Diagnostic.to_json d))
+    r.diagnostics;
+  Buffer.add_string buf "],\"facts\":[";
+  List.iteri
+    (fun i (cls, cap) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"class\":\"%s\",\"capacity\":\"%s\"}" (esc cls)
+        (capacity_to_string cap))
+    r.facts;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Whole-schema static analysis: typecheck every expression in the
+    schema graph and lint every derivation.
+
+    Layer 1 (expression typechecking) walks every derived-method body
+    (checked at its owning class) and every select predicate (checked at
+    its {e source} class, where the objects being filtered live) through
+    {!Typecheck}. Layer 2 (derivation linting) adds:
+    - [E110] a virtual class whose source class is gone,
+    - [E111] a cycle in the derived-method reference graph (methods
+      resolved by name through every body, the same conservative closure
+      {!Tse_schema.Deps} uses),
+    and classifies every virtual class's derivation by capacity (paper
+    Section 3): capacity-{e augmenting} ([refine] introducing stored
+    attributes), capacity-{e reducing} ([hide]), capacity-{e preserving}
+    otherwise. Capacity is reported as an analysis {e fact}, not a
+    diagnostic. *)
+
+open Tse_schema
+
+type capacity = Augmenting | Preserving | Reducing
+
+val capacity_to_string : capacity -> string
+
+val derivation_capacity : Klass.derivation -> capacity
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** sorted with {!Diagnostic.compare} *)
+  facts : (string * capacity) list;
+      (** virtual class name -> capacity classification, sorted by name *)
+  classes_checked : int;
+  exprs_checked : int;  (** method bodies + select predicates visited *)
+}
+
+val analyze : Schema_graph.t -> report
+
+val errors : report -> Diagnostic.t list
+val warnings : report -> Diagnostic.t list
+
+val is_clean : report -> bool
+(** No [Error]-severity diagnostics (warnings allowed). *)
+
+val method_cycles : Schema_graph.t -> string list list
+(** Each distinct cycle in the derived-method reference graph, as a
+    sorted list of the method names involved. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Diagnostics one per line, then capacity facts, then a summary
+    line. *)
+
+val report_to_json : report -> string
+(** One JSON object: error/warning counts, the work counters, the
+    diagnostics array and the facts array. *)

@@ -1,0 +1,59 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  cls : string option;
+  prop : string option;
+  message : string;
+}
+
+let make ?cls ?prop severity ~code message =
+  { severity; code; cls; prop; message }
+
+let makef ?cls ?prop severity ~code fmt =
+  Format.kasprintf (fun message -> make ?cls ?prop severity ~code message) fmt
+
+let is_error d = d.severity = Error
+let is_warning d = d.severity = Warning
+let is_info d = d.severity = Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = Option.compare String.compare a.cls b.cls in
+      if c <> 0 then c
+      else
+        let c = Option.compare String.compare a.prop b.prop in
+        if c <> 0 then c else String.compare a.message b.message
+
+let subject d =
+  match d.cls, d.prop with
+  | Some c, Some p -> Printf.sprintf " [%s.%s]" c p
+  | Some c, None -> Printf.sprintf " [%s]" c
+  | None, Some p -> Printf.sprintf " [%s]" p
+  | None, None -> ""
+
+let pp ppf d =
+  Format.fprintf ppf "%s %s%s: %s"
+    (severity_to_string d.severity)
+    d.code (subject d) d.message
+
+let to_json d =
+  let esc = Tse_obs.Metrics.json_escape in
+  let opt = function None -> "null" | Some s -> Printf.sprintf "%S" (esc s) in
+  Printf.sprintf
+    "{\"severity\":\"%s\",\"code\":\"%s\",\"class\":%s,\"prop\":%s,\"message\":\"%s\"}"
+    (severity_to_string d.severity)
+    (esc d.code) (opt d.cls) (opt d.prop) (esc d.message)

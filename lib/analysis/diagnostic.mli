@@ -1,0 +1,46 @@
+(** Structured findings of the static schema analyzer.
+
+    Every finding carries a stable machine-readable [code] (documented in
+    DESIGN.md, Section 10), the class and property it is about, and a
+    human-readable message. [Error] findings make a schema ill-formed and
+    are what the evolution admission gate rejects on; [Warning] findings
+    are suspicious but legal; [Info] findings are analysis facts (e.g. the
+    capacity classification of a derivation). *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable identifier, e.g. ["E101"] *)
+  cls : string option;  (** class the finding is about *)
+  prop : string option;  (** property / predicate involved, if any *)
+  message : string;
+}
+
+val make :
+  ?cls:string -> ?prop:string -> severity -> code:string -> string -> t
+
+val makef :
+  ?cls:string ->
+  ?prop:string ->
+  severity ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val is_error : t -> bool
+val is_warning : t -> bool
+val is_info : t -> bool
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Errors before warnings before infos; then by code, class, property,
+    message — a stable report order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error E101 [Class.prop]: message]. *)
+
+val to_json : t -> string
+(** One JSON object with [severity], [code], [class], [prop], [message]
+    fields. *)

@@ -1,0 +1,221 @@
+open Tse_store
+open Tse_schema
+
+type result = { ty : Value.ty; diagnostics : Diagnostic.t list }
+
+exception Not_const
+
+let const_eval e =
+  let env =
+    {
+      Expr.self = Oid.of_int 0;
+      get = (fun _ -> raise Not_const);
+      member_of = (fun _ -> raise Not_const);
+    }
+  in
+  match Expr.eval env e with
+  | v -> Some v
+  | exception
+      ( Not_const | Expr.Type_error _ | Expr.Unknown_property _
+      | Division_by_zero ) ->
+      None
+
+let rec ty_of_value = function
+  | Value.Null -> Value.TAny
+  | Value.Bool _ -> Value.TBool
+  | Value.Int _ -> Value.TInt
+  | Value.Float _ -> Value.TFloat
+  | Value.String _ -> Value.TString
+  | Value.Ref _ -> Value.TRef ""
+  | Value.List [] -> Value.TList Value.TAny
+  | Value.List (v :: _) -> Value.TList (ty_of_value v)
+
+let is_numeric = function
+  | Value.TInt | Value.TFloat | Value.TAny -> true
+  | _ -> false
+
+let is_boolish = function Value.TBool | Value.TAny -> true | _ -> false
+let is_stringish = function Value.TString | Value.TAny -> true | _ -> false
+
+(* Mirrors [Value.tag_compatible]: same head constructor, or an int/float
+   pair; references compare by identity regardless of class constraint. *)
+let comparable a b =
+  match (a, b) with
+  | Value.TAny, _ | _, Value.TAny -> true
+  | (Value.TInt | Value.TFloat), (Value.TInt | Value.TFloat) -> true
+  | Value.TRef _, Value.TRef _ -> true
+  | Value.TList _, Value.TList _ -> true
+  | _ -> Value.ty_equal a b
+
+let is_const_null = function Expr.Const Value.Null -> true | _ -> false
+
+let unify a b =
+  if Value.ty_equal a b then a
+  else
+    match (a, b) with
+    | (Value.TInt | Value.TFloat), (Value.TInt | Value.TFloat) -> Value.TFloat
+    | _ -> Value.TAny
+
+let infer g cid ~cls ?prop ?(undefined_code = "E101") expr =
+  let diags = ref [] in
+  let quiet = ref false in
+  let emit d = if not !quiet then diags := d :: !diags in
+  let errf ~code fmt = Diagnostic.makef ~cls ?prop Diagnostic.Error ~code fmt in
+  let warnf ~code fmt =
+    Diagnostic.makef ~cls ?prop Diagnostic.Warning ~code fmt
+  in
+  let visiting = Hashtbl.create 8 in
+  let rec go e =
+    match e with
+    | Expr.Const v -> ty_of_value v
+    | Expr.Self -> Value.TRef ""
+    | Expr.Attr name -> (
+        match Type_info.find g cid name with
+        | None ->
+            emit
+              (errf ~code:undefined_code
+                 "reference to property %s, which is not in the full type of %s"
+                 name cls);
+            Value.TAny
+        | Some (Type_info.Conflict cands) ->
+            emit
+              (errf ~code:"E102"
+                 "reference to %s is ambiguous at %s: %d conflicting inherited \
+                  definitions"
+                 name cls (List.length cands));
+            Value.TAny
+        | Some (Type_info.Single p) -> (
+            match p.Prop.body with
+            | Prop.Stored { ty; _ } -> ty
+            | Prop.Method body ->
+                if Hashtbl.mem visiting p.Prop.name then Value.TAny
+                else begin
+                  (* Follow the referenced method for its type only; its
+                     body is reported at its own definition site. *)
+                  Hashtbl.add visiting p.Prop.name ();
+                  let was = !quiet in
+                  quiet := true;
+                  let t = go body in
+                  quiet := was;
+                  Hashtbl.remove visiting p.Prop.name;
+                  t
+                end))
+    | Expr.Not a ->
+        let ta = go a in
+        if not (is_boolish ta) then
+          emit
+            (errf ~code:"E104" "operand of not has type %s, expected bool"
+               (Value.ty_to_string ta));
+        Value.TBool
+    | Expr.And (a, b) | Expr.Or (a, b) ->
+        let op = match e with Expr.And _ -> "and" | _ -> "or" in
+        let check side x =
+          let t = go x in
+          if not (is_boolish t) then
+            emit
+              (errf ~code:"E104" "%s operand of %s has type %s, expected bool"
+                 side op (Value.ty_to_string t))
+        in
+        check "left" a;
+        check "right" b;
+        Value.TBool
+    | Expr.Cmp (op, a, b) ->
+        let ta = go a and tb = go b in
+        if not (comparable ta tb) then
+          emit
+            (errf ~code:"E104" "cannot compare %s with %s"
+               (Value.ty_to_string ta) (Value.ty_to_string tb));
+        (match op with
+        | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge ->
+            if is_const_null a || is_const_null b then
+              emit
+                (errf ~code:"E104"
+                   "ordering comparison against null raises at run time")
+        | Expr.Eq | Expr.Ne -> ());
+        Value.TBool
+    | Expr.Arith (op, a, b) ->
+        let ta = go a and tb = go b in
+        let check side t =
+          if not (is_numeric t) then
+            emit
+              (errf ~code:"E104"
+                 "%s operand of arithmetic has type %s, expected int or float"
+                 side (Value.ty_to_string t))
+        in
+        check "left" ta;
+        check "right" tb;
+        (match op with
+        | Expr.Div -> (
+            match const_eval b with
+            | Some (Value.Int 0) -> emit (errf ~code:"E106" "division by zero")
+            | Some (Value.Float f) when f = 0. ->
+                emit (errf ~code:"E106" "division by zero")
+            | _ -> ())
+        | Expr.Add | Expr.Sub | Expr.Mul -> ());
+        if Value.ty_equal ta Value.TInt && Value.ty_equal tb Value.TInt then
+          Value.TInt
+        else if
+          (is_numeric ta && is_numeric tb)
+          && (Value.ty_equal ta Value.TFloat || Value.ty_equal tb Value.TFloat)
+        then Value.TFloat
+        else Value.TAny
+    | Expr.Concat (a, b) ->
+        let check side x =
+          let t = go x in
+          if not (is_stringish t) then
+            emit
+              (errf ~code:"E105" "%s operand of concat has type %s, expected \
+                                  string" side (Value.ty_to_string t))
+        in
+        check "left" a;
+        check "right" b;
+        Value.TString
+    | Expr.Is_null a ->
+        ignore (go a);
+        Value.TBool
+    | Expr.In_class name ->
+        (match Schema_graph.find_by_name g name with
+        | Some _ -> ()
+        | None ->
+            emit
+              (errf ~code:"E103" "in_class test names nonexistent class %s"
+                 name));
+        Value.TBool
+    | Expr.If (c, t_, e_) ->
+        let tc = go c in
+        if not (is_boolish tc) then
+          emit
+            (errf ~code:"E104" "if condition has type %s, expected bool"
+               (Value.ty_to_string tc));
+        (match const_eval c with
+        | Some (Value.Bool bv) ->
+            emit
+              (warnf ~code:"W201"
+                 "if condition is constantly %b: the %s branch is dead" bv
+                 (if bv then "else" else "then"))
+        | _ -> ());
+        unify (go t_) (go e_)
+  in
+  let ty = go expr in
+  { ty; diagnostics = List.rev !diags }
+
+let check_method g cid ~cls ~prop expr =
+  (infer g cid ~cls ~prop expr).diagnostics
+
+let check_predicate g cid ~cls ?prop ?(undefined_code = "E112") expr =
+  let r = infer g cid ~cls ?prop ~undefined_code expr in
+  let extra = ref [] in
+  if not (is_boolish r.ty) then
+    extra :=
+      Diagnostic.makef ~cls ?prop Diagnostic.Error ~code:"E107"
+        "select predicate has type %s, expected bool"
+        (Value.ty_to_string r.ty)
+      :: !extra;
+  (match const_eval expr with
+  | Some (Value.Bool false) | Some Value.Null ->
+      extra :=
+        Diagnostic.make ~cls ?prop Diagnostic.Warning ~code:"W202"
+          "select predicate is constantly false: the extent is always empty"
+        :: !extra
+  | _ -> ());
+  r.diagnostics @ List.rev !extra

@@ -1,0 +1,73 @@
+(** Static typechecking of {!Tse_schema.Expr} trees against a class's
+    full type.
+
+    The inference is deliberately aligned with the runtime semantics of
+    [Expr.eval]: [TAny] is the lattice top (unknown, e.g. a [Null]
+    constant or an unresolvable reference — never reported twice), int
+    and float mix freely in arithmetic and comparisons, and ordering
+    against a [Null] constant is flagged because [eval] raises
+    [Type_error] there at run time.
+
+    Diagnostic codes produced here (see DESIGN.md Section 10):
+    - [E101] reference to a property undefined at the class (method
+      bodies; select predicates use [E112] via [undefined_code]),
+    - [E102] reference to a [Conflict]-ambiguous property,
+    - [E103] [In_class] naming a nonexistent class,
+    - [E104] operand type mismatch (boolean ops, comparisons,
+      arithmetic, ordering against a null constant, [If] condition),
+    - [E105] [Concat] on a non-string operand,
+    - [E106] division by a constant zero,
+    - [E107] non-boolean select predicate,
+    - [W201] constant [If] condition (dead branch),
+    - [W202] constantly-false select predicate (always-empty extent;
+      constant [true] is {e not} flagged — the translator's identity
+      selects rely on it). *)
+
+open Tse_schema
+
+val const_eval : Expr.t -> Tse_store.Value.t option
+(** Constant-fold with the runtime evaluator: [Some v] iff the
+    expression evaluates to [v] without touching self. *)
+
+type result = {
+  ty : Tse_store.Value.ty;  (** inferred type, [TAny] when unknown *)
+  diagnostics : Diagnostic.t list;
+}
+
+val infer :
+  Schema_graph.t ->
+  Klass.cid ->
+  cls:string ->
+  ?prop:string ->
+  ?undefined_code:string ->
+  Expr.t ->
+  result
+(** Infer the value type of the expression with property references
+    resolved through [Type_info.find] at the given class. Referenced
+    derived methods are followed (for their type) but their own bodies
+    are not re-reported here. [cls]/[prop] label the diagnostics;
+    [undefined_code] (default ["E101"]) is the code used for undefined
+    property references. *)
+
+val check_method :
+  Schema_graph.t ->
+  Klass.cid ->
+  cls:string ->
+  prop:string ->
+  Expr.t ->
+  Diagnostic.t list
+(** Check a derived-method body owned by the class. *)
+
+val check_predicate :
+  Schema_graph.t ->
+  Klass.cid ->
+  cls:string ->
+  ?prop:string ->
+  ?undefined_code:string ->
+  Expr.t ->
+  Diagnostic.t list
+(** Check a select predicate against its {e source} class: everything
+    {!infer} reports, plus [E107] when the inferred type cannot be
+    boolean and [W202] when the predicate constant-folds to
+    [false]/[Null]. [undefined_code] defaults to ["E112"] (attribute
+    invisible at the source class). *)

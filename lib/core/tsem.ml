@@ -36,6 +36,7 @@ let evolve t ~view change =
       m "evolving view %s (v%d): %s" view old_view.View_schema.version
         (Change.to_string change));
   let classes_before = Schema_graph.size (Database.graph t.db) in
+  Admission.admit t.db old_view change;
   let new_view =
     Tse_obs.Trace.with_span
       ~attrs:[ ("view", view); ("change", Change.to_string change) ]

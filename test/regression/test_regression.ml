@@ -1,0 +1,181 @@
+(* Regression corpus for the known Proposition B / delete_edge bug
+   (ROADMAP "Known bugs"): the generator seeds below make the random
+   Proposition B property fail at the seed commit. Each is replayed here
+   as an EXPECTED-FAILURE case — the test asserts the bug still
+   reproduces, so the flake is measurable instead of anecdotal, and the
+   session that fixes the translator must flip these assertions to
+   Clean.
+
+   The replay duplicates test/test_property.ml's prop_view_independence
+   body (including its random_change generator) verbatim: this binary is
+   a separate executable and must stay in sync with it by hand.
+
+   The static analyzer runs over every failing schema and its
+   diagnostics are recorded: the corpus demonstrates that the bug is a
+   semantic derivation error (wrong membership after delete_edge), not
+   an ill-typed schema — the analyzer finds zero errors. *)
+
+open Tse_store
+open Tse_schema
+open Tse_db
+open Tse_core
+open Tse_workload
+
+(* Verbatim copy of test/test_property.ml's random_change. *)
+let random_change rng (rs : Random_schema.t) =
+  let g = Database.graph rs.db in
+  let cls cid = Schema_graph.name_of g cid in
+  let c1 = Random_schema.random_class rng rs in
+  let c2 = Random_schema.random_class rng rs in
+  match Random.State.int rng 8 with
+  | 0 ->
+    Change.Add_attribute
+      {
+        cls = cls c1;
+        def =
+          Change.attr (Printf.sprintf "n%d" (Random.State.int rng 1000)) Value.TInt;
+      }
+  | 1 -> begin
+    match Random_schema.random_attr rng rs c1 with
+    | Some a -> Change.Delete_attribute { cls = cls c1; attr_name = a }
+    | None -> Change.Delete_class { cls = cls c1 }
+  end
+  | 2 ->
+    Change.Add_method
+      {
+        cls = cls c1;
+        method_name = Printf.sprintf "m%d" (Random.State.int rng 1000);
+        body = Expr.int 1;
+      }
+  | 3 -> Change.Add_edge { sup = cls c1; sub = cls c2 }
+  | 4 -> Change.Delete_edge { sup = cls c1; sub = cls c2; connected_to = None }
+  | 5 ->
+    Change.Add_class
+      {
+        cls = Printf.sprintf "N%d" (Random.State.int rng 1000);
+        connected_to = Some (cls c1);
+      }
+  | 6 -> Change.Delete_class { cls = cls c1 }
+  | _ ->
+    Change.Insert_class
+      {
+        cls = Printf.sprintf "I%d" (Random.State.int rng 1000);
+        sup = cls c1;
+        sub = cls c2;
+      }
+
+type outcome =
+  | Clean  (** Proposition B held: the bug no longer reproduces *)
+  | Violation of string list
+      (** property body returned false: fingerprint drift and/or
+          consistency-oracle problems *)
+  | Crashed of string  (** evolve raised something besides [Rejected] *)
+
+let replay seed =
+  let rng = Random.State.make [| seed; 23 |] in
+  let rs = Random_schema.generate ~seed ~classes:10 ~objects:20 () in
+  let tsem = Tsem.of_database rs.db in
+  let names = Random_schema.class_names rs in
+  let half = List.filteri (fun i _ -> i mod 2 = 0) names in
+  ignore (Tsem.define_view_by_names tsem ~name:"MINE" names);
+  ignore (Tsem.define_view_by_names tsem ~name:"OTHER" half);
+  let before = Verify.view_fingerprint rs.db (Tsem.current tsem "OTHER") in
+  let outcome =
+    match
+      for _ = 1 to 5 do
+        try ignore (Tsem.evolve tsem ~view:"MINE" (random_change rng rs))
+        with Change.Rejected _ -> ()
+      done
+    with
+    | () ->
+      let after = Verify.view_fingerprint rs.db (Tsem.current tsem "OTHER") in
+      let issues =
+        (if String.equal before after then []
+         else [ "OTHER view fingerprint changed" ])
+        @ Database.check rs.db
+      in
+      if issues = [] then Clean else Violation issues
+    | exception e -> Crashed (Printexc.to_string e)
+  in
+  (rs, outcome)
+
+let pp_outcome = function
+  | Clean -> "clean"
+  | Violation issues -> "violation: " ^ String.concat "; " issues
+  | Crashed msg -> "crashed: " ^ msg
+
+(* The analyzer's verdict on the schema the failing replay left behind:
+   recorded (printed) for the corpus, and asserted error-free — the bug
+   is semantic, not a typing error the analyzer could have gated. *)
+let analyze_failing_schema seed (rs : Random_schema.t) =
+  let report = Tse_analysis.Analysis.analyze (Database.graph rs.db) in
+  Printf.printf "seed %d analyzer verdict: %d errors, %d warnings over %d \
+                 classes / %d exprs\n"
+    seed
+    (List.length (Tse_analysis.Analysis.errors report))
+    (List.length (Tse_analysis.Analysis.warnings report))
+    report.Tse_analysis.Analysis.classes_checked
+    report.Tse_analysis.Analysis.exprs_checked;
+  List.iter
+    (fun d ->
+      Printf.printf "  %s\n" (Format.asprintf "%a" Tse_analysis.Diagnostic.pp d))
+    report.Tse_analysis.Analysis.diagnostics;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: failing schema has no analyzer errors" seed)
+    0
+    (List.length (Tse_analysis.Analysis.errors report))
+
+let expect_violation seed () =
+  let rs, outcome = replay seed in
+  Printf.printf "seed %d: %s\n" seed (pp_outcome outcome);
+  (match outcome with
+  | Violation _ -> ()
+  | Clean ->
+    Alcotest.failf
+      "seed %d no longer reproduces the Proposition B violation — the bug \
+       is fixed; update ROADMAP.md and flip this regression to expect Clean"
+      seed
+  | Crashed msg ->
+    Alcotest.failf "seed %d changed failure mode: crashed with %s" seed msg);
+  analyze_failing_schema seed rs
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let expect_crash seed fragment () =
+  let rs, outcome = replay seed in
+  Printf.printf "seed %d: %s\n" seed (pp_outcome outcome);
+  (match outcome with
+  | Crashed msg ->
+    if not (contains ~needle:fragment msg) then
+      Alcotest.failf "seed %d crashed with %S (expected it to mention %S)"
+        seed msg fragment
+  | Clean ->
+    Alcotest.failf
+      "seed %d no longer crashes — the bug is fixed; update ROADMAP.md and \
+       flip this regression to expect Clean"
+      seed
+  | Violation issues ->
+    Alcotest.failf "seed %d changed failure mode: violation (%s)" seed
+      (String.concat "; " issues));
+  analyze_failing_schema seed rs
+
+let () =
+  Alcotest.run "tse-regression"
+    [
+      ( "proposition-b-corpus",
+        [
+          Alcotest.test_case "seed 260 (delete_edge membership)" `Quick
+            (expect_violation 260);
+          Alcotest.test_case "seed 50 (delete_edge membership)" `Quick
+            (expect_violation 50);
+          Alcotest.test_case "seed 88 (delete_edge membership)" `Quick
+            (expect_violation 88);
+          Alcotest.test_case "seed 8041 (delete_edge membership)" `Quick
+            (expect_violation 8041);
+          Alcotest.test_case "seed 3153 (refine_from name collision)" `Quick
+            (expect_crash 3153 "already defined");
+        ] );
+    ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "tse"
     [
       ("obs", Test_obs.suite);
+      ("analysis", Test_analysis.suite);
       ("store", Test_store.suite);
       ("schema", Test_schema.suite);
       ("objmodel", Test_objmodel.suite);

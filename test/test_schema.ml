@@ -306,6 +306,112 @@ let test_type_signature_stability () =
   in
   Alcotest.(check bool) "C differs" false (Type_info.type_equal g a c)
 
+(* ------------------------------------------------------------------ *)
+(* Invariants.check: one crafted violation per documented clause.      *)
+(* The mutators (add_edge, register_base, add_local_prop) refuse to    *)
+(* produce these states, so each is crafted by direct record surgery,  *)
+(* and the test asserts the human-readable message names the           *)
+(* offending class.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let problem_mentioning needle problems =
+  let contains hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "some problem mentions %S (got: %s)" needle
+       (String.concat " | " problems))
+    true
+    (List.exists contains problems)
+
+let two_classes () =
+  let g = graph () in
+  let a = Schema_graph.register_base g ~name:"A" ~props:[] ~supers:[] in
+  let b = Schema_graph.register_base g ~name:"B" ~props:[] ~supers:[ a ] in
+  (g, Schema_graph.find_exn g a, Schema_graph.find_exn g b)
+
+let test_invariant_cycle () =
+  let g, ka, kb = two_classes () in
+  (* close the loop A -> B -> A behind add_edge's back *)
+  ka.Klass.supers <- kb.Klass.cid :: ka.Klass.supers;
+  kb.Klass.subs <- ka.Klass.cid :: kb.Klass.subs;
+  problem_mentioning "cycle through class A" (Invariants.check g)
+
+let test_invariant_missing_superclass () =
+  let g, _, kb = two_classes () in
+  kb.Klass.supers <- Oid.of_int 9999 :: kb.Klass.supers;
+  problem_mentioning "B lists missing superclass" (Invariants.check g)
+
+let test_invariant_missing_subclass () =
+  let g, ka, _ = two_classes () in
+  ka.Klass.subs <- Oid.of_int 9999 :: ka.Klass.subs;
+  problem_mentioning "A lists missing subclass" (Invariants.check g)
+
+let test_invariant_asymmetric_super_edge () =
+  let g, ka, kb = two_classes () in
+  (* B claims A as a superclass twice is fine; instead drop B from A's
+     subs so the super-side listing has no matching sub-side entry *)
+  ka.Klass.subs <- List.filter (fun c -> not (Oid.equal c kb.Klass.cid)) ka.Klass.subs;
+  problem_mentioning "edge A->B not symmetric" (Invariants.check g)
+
+let test_invariant_asymmetric_sub_edge () =
+  let g, ka, kb = two_classes () in
+  kb.Klass.supers <-
+    List.filter (fun c -> not (Oid.equal c ka.Klass.cid)) kb.Klass.supers;
+  (* B now looks disconnected too; the asymmetry clause must still fire *)
+  problem_mentioning "edge A->B not symmetric" (Invariants.check g)
+
+let test_invariant_root_with_supers () =
+  let g, ka, _ = two_classes () in
+  let kroot = Schema_graph.find_exn g (Schema_graph.root g) in
+  kroot.Klass.supers <- [ ka.Klass.cid ];
+  ka.Klass.subs <- Schema_graph.root g :: ka.Klass.subs;
+  problem_mentioning "root has superclasses" (Invariants.check g)
+
+let test_invariant_disconnected () =
+  let g, ka, kb = two_classes () in
+  kb.Klass.supers <- [];
+  ka.Klass.subs <- List.filter (fun c -> not (Oid.equal c kb.Klass.cid)) ka.Klass.subs;
+  problem_mentioning "class B is disconnected" (Invariants.check g)
+
+let test_invariant_not_under_root () =
+  let g, ka, _kb = two_classes () in
+  (* detach A from the root but keep B -> A intact: A is flagged as
+     disconnected, and B as not a descendant of the root *)
+  let kroot = Schema_graph.find_exn g (Schema_graph.root g) in
+  ka.Klass.supers <- [];
+  kroot.Klass.subs <-
+    List.filter (fun c -> not (Oid.equal c ka.Klass.cid)) kroot.Klass.subs;
+  let problems = Invariants.check g in
+  problem_mentioning "class A is disconnected" problems;
+  problem_mentioning "class B is not a descendant of the root" problems
+
+let test_invariant_duplicate_name () =
+  let g, _, kb = two_classes () in
+  kb.Klass.name <- "A";
+  problem_mentioning "duplicate class name A" (Invariants.check g)
+
+let test_invariant_missing_virtual_source () =
+  let g, ka, _ = two_classes () in
+  ignore
+    (Schema_graph.register_virtual g ~name:"V"
+       (Klass.Select (ka.Klass.cid, Expr.bool true))
+       []);
+  Schema_graph.remove g ka.Klass.cid;
+  problem_mentioning "virtual class V has missing source" (Invariants.check g)
+
+let test_invariant_duplicate_local_prop () =
+  let g, ka, _ = two_classes () in
+  let p = stored "x" Value.TInt in
+  ka.Klass.local_props <- [ p; p ];
+  problem_mentioning "class A defines property x twice" (Invariants.check g)
+
+let test_invariant_clean_graph_has_no_problems () =
+  let g, _, _ = two_classes () in
+  Alcotest.(check (list string)) "clean" [] (Invariants.check g)
+
 let suite =
   [
     Alcotest.test_case "expr evaluation" `Quick test_expr_eval;
@@ -329,4 +435,27 @@ let suite =
     Alcotest.test_case "uppermost-in-view (view-relative local)" `Quick
       test_uppermost_in_view;
     Alcotest.test_case "type signatures" `Quick test_type_signature_stability;
+    Alcotest.test_case "invariant: cycle" `Quick test_invariant_cycle;
+    Alcotest.test_case "invariant: missing superclass" `Quick
+      test_invariant_missing_superclass;
+    Alcotest.test_case "invariant: missing subclass" `Quick
+      test_invariant_missing_subclass;
+    Alcotest.test_case "invariant: asymmetric edge (super side)" `Quick
+      test_invariant_asymmetric_super_edge;
+    Alcotest.test_case "invariant: asymmetric edge (sub side)" `Quick
+      test_invariant_asymmetric_sub_edge;
+    Alcotest.test_case "invariant: root with superclasses" `Quick
+      test_invariant_root_with_supers;
+    Alcotest.test_case "invariant: disconnected class" `Quick
+      test_invariant_disconnected;
+    Alcotest.test_case "invariant: not a descendant of the root" `Quick
+      test_invariant_not_under_root;
+    Alcotest.test_case "invariant: duplicate class name" `Quick
+      test_invariant_duplicate_name;
+    Alcotest.test_case "invariant: missing virtual source" `Quick
+      test_invariant_missing_virtual_source;
+    Alcotest.test_case "invariant: duplicate local property" `Quick
+      test_invariant_duplicate_local_prop;
+    Alcotest.test_case "invariant: clean graph reports nothing" `Quick
+      test_invariant_clean_graph_has_no_problems;
   ]
