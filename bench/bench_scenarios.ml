@@ -1,0 +1,78 @@
+(* Chaos-soak scenario benchmark: a long seeded run of the
+   crash/recovery harness (lib/workload/soak) — hundreds of evolutions,
+   dozens of injected mid-evolution crashes — reporting steps survived,
+   crashes recovered and the recovery-latency histogram. Emits
+   machine-readable BENCH_scenarios.json so CI and the driver can assert
+   the verdict; exits 1 on any violation. *)
+
+module Soak = Tse_workload.Soak
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tse_bench_soak_%d_%d" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end;
+    dir
+
+let run ?(smoke = false) ?steps ?crashes ?seed () =
+  let base = Soak.default ~dir:(fresh_dir ()) in
+  let cfg =
+    {
+      base with
+      Soak.steps =
+        (match steps with Some s -> s | None -> if smoke then 50 else 300);
+      crashes =
+        (match crashes with Some c -> c | None -> if smoke then 5 else 30);
+      seed = (match seed with Some s -> s | None -> base.Soak.seed);
+    }
+  in
+  Printf.printf
+    "scenarios: seed=%d steps=%d crashes=%d policy=%s dir=%s\n%!" cfg.Soak.seed
+    cfg.Soak.steps cfg.Soak.crashes
+    (match cfg.Soak.policy with
+    | None -> "default"
+    | Some p -> Tse_db.Durable.policy_to_string p)
+    cfg.Soak.dir;
+  let t0 = Unix.gettimeofday () in
+  let o = Soak.run cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%a@." Soak.pp_outcome o;
+  Printf.printf "wall time: %.2f s\n" dt;
+  let json = Soak.to_json cfg o in
+  let oc = open_out "BENCH_scenarios.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_scenarios.json\n";
+  (* headline assertions: the harness must have really soaked, and every
+     recovery must have passed every check *)
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  expect
+    (o.Soak.evolutions_applied + o.Soak.evolutions_rejected >= cfg.Soak.steps)
+    "not every step ran an evolution attempt";
+  if not smoke then begin
+    expect (o.Soak.evolutions_applied >= 200)
+      (Printf.sprintf "expected >= 200 applied evolutions, got %d"
+         o.Soak.evolutions_applied);
+    expect (o.Soak.crashes_injected >= 20)
+      (Printf.sprintf "expected >= 20 injected crashes, got %d"
+         o.Soak.crashes_injected)
+  end
+  else expect (o.Soak.crashes_injected >= 1) "no crash was injected";
+  expect (o.Soak.violations = [])
+    (Printf.sprintf "%d violation(s)" (List.length o.Soak.violations));
+  match !failures with
+  | [] -> Printf.printf "scenarios: PASS\n"
+  | fs ->
+    List.iter (Printf.printf "scenarios: FAIL: %s\n") (List.rev fs);
+    exit 1

@@ -525,6 +525,31 @@ let checkpoint dir =
     (Durable.seq d);
   Durable.close d
 
+(* ---------------- chaos soak ---------------- *)
+
+let soak dir steps crashes seed out =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None ->
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tse_soak_%d" (Unix.getpid ()))
+  in
+  let cfg = { (Tse_workload.Soak.default ~dir) with steps; crashes; seed } in
+  Printf.printf "soak: seed=%d steps=%d crashes=%d dir=%s\n%!" seed steps
+    crashes dir;
+  let o = Tse_workload.Soak.run cfg in
+  Format.printf "%a@." Tse_workload.Soak.pp_outcome o;
+  (match out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Tse_workload.Soak.to_json cfg o);
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  if o.Tse_workload.Soak.violations <> [] then exit 1
+
 (* ---------------- static analysis ---------------- *)
 
 let lint format schema seed catalog =
@@ -608,11 +633,48 @@ let checkpoint_cmd =
           into a fresh snapshot (atomic replace), then reset the log.")
     Term.(const checkpoint $ dir_arg)
 
+let soak_dir_arg =
+  let doc =
+    "Durable database directory for the soak (a throwaway under the \
+     temp dir by default)."
+  in
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let soak_steps_arg =
+  let doc = "Evolution attempts to run." in
+  Arg.(value & opt int 300 & info [ "steps" ] ~doc)
+
+let soak_crashes_arg =
+  let doc = "Mid-evolution crash/recover cycles to inject." in
+  Arg.(value & opt int 30 & info [ "crashes" ] ~doc)
+
+let soak_seed_arg =
+  let doc = "Scenario seed (the whole run is deterministic in it)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let soak_out_arg =
+  let doc = "Write the BENCH_scenarios.json document to this path." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH" ~doc)
+
+let soak_cmd =
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run the chaos soak harness: seeded scenarios of view evolutions \
+          with OCC reader/writer traffic and crashes injected \
+          mid-evolution at every evolve phase and WAL record boundary; \
+          after every recovery assert invariants, analyzer cleanliness \
+          and equivalence with a never-crashed twin. Exits 1 on any \
+          violation.")
+    Term.(
+      const soak $ soak_dir_arg $ soak_steps_arg $ soak_crashes_arg
+      $ soak_seed_arg $ soak_out_arg)
+
 let cmd =
   Cmd.group
     ~default:repl_term
     (Cmd.info "tse_cli" ~version:"1.0"
        ~doc:"Interactive shell for the Transparent Schema Evolution system")
-    [ repl_cmd; recover_cmd; checkpoint_cmd; lint_cmd ]
+    [ repl_cmd; recover_cmd; checkpoint_cmd; lint_cmd; soak_cmd ]
 
 let () = exit (Cmd.eval cmd)

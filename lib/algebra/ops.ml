@@ -22,11 +22,15 @@ let check_name db name =
   | Some _ -> error "class name %s already in use" name
   | None -> ()
 
+let fp_derive = "evolve.derive"
+let () = Tse_store.Failpoint.declare fp_derive
+
 let register db ~name derivation props =
   check_name db name;
   let cid =
     Tse_obs.Trace.with_span ~attrs:[ ("class", name) ] "evolve.derive"
     @@ fun () ->
+    Tse_store.Failpoint.hit fp_derive;
     Schema_graph.register_virtual (Database.graph db) ~name derivation props
   in
   Classification.integrate db cid

@@ -5,8 +5,14 @@ module Schema_graph = Tse_schema.Schema_graph
 module Type_info = Tse_schema.Type_info
 module Database = Tse_db.Database
 module Trace = Tse_obs.Trace
+module Failpoint = Tse_store.Failpoint
 
 type cid = Klass.cid
+
+let fp_classify = "evolve.classify"
+let fp_integrate = "evolve.integrate"
+let fp_reclassify = "evolve.reclassify"
+let () = List.iter Failpoint.declare [ fp_classify; fp_integrate; fp_reclassify ]
 
 let usable_props graph cid =
   Type_info.full_type graph cid
@@ -172,6 +178,7 @@ let integrate db cid =
   (* classify: decide where the class belongs (or that it already exists) *)
   let placement =
     Trace.with_span "evolve.classify" @@ fun () ->
+    Failpoint.hit fp_classify;
     match find_duplicate db cid with
     | Some existing -> `Duplicate existing
     | None ->
@@ -197,11 +204,13 @@ let integrate db cid =
   | `Placed (k, intended) ->
     (* integrate: promote properties and repair inheritance edges *)
     (Trace.with_span "evolve.integrate" @@ fun () ->
+     Failpoint.hit fp_integrate;
      materialize_props graph cid intended;
      repair_edges graph cid;
      Database.note_new_class db cid);
     (* reclassify: populate the new class's extent from its sources *)
     (Trace.with_span "evolve.reclassify" @@ fun () ->
+     Failpoint.hit fp_reclassify;
      let candidates =
        List.fold_left
          (fun acc src -> Oid.Set.union acc (Database.extent db src))

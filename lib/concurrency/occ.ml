@@ -99,16 +99,25 @@ let writes s = List.length s.write_log
 
 exception Too_many_conflicts of conflict
 
+let m_retry_exhausted = Metrics.counter "occ.retry_exhausted"
+
+(* Process-wide default jitter source: seeded, so retry schedules are
+   reproducible run to run, yet uncorrelated between the retrying
+   sessions of one run. *)
+let default_jitter = lazy (Random.State.make [| 0x0cc; 0x7e57ed |])
+
 (* Run [f] against fresh sessions until one commits, sleeping between
-   attempts with bounded linear backoff. Each retry re-reads through a new
-   session, so the body observes the state the conflicting commit left.
-   With [?durable] the winning validation is also appended to the durable
-   log as one batch — under that handle's sync policy, so a grouped or
-   manual policy amortizes the fsync across many retrying writers. *)
-let commit_with_retry ?(attempts = 5) ?(backoff = 0.001) ?durable t f =
+   attempts with bounded, jittered linear backoff. Each retry re-reads
+   through a new session, so the body observes the state the conflicting
+   commit left. With [?durable] the winning validation is also appended
+   to the durable log as one batch — under that handle's sync policy, so
+   a grouped or manual policy amortizes the fsync across many retrying
+   writers. *)
+let commit_with_retry ?(attempts = 5) ?(backoff = 0.001) ?jitter ?durable t f =
   if attempts < 1 then invalid_arg "Occ.commit_with_retry: attempts < 1";
   if backoff < 0. then invalid_arg "Occ.commit_with_retry: negative backoff";
   let max_backoff = 0.05 in
+  let rng = match jitter with Some r -> r | None -> Lazy.force default_jitter in
   let rec go attempt =
     let s = begin_session t in
     let result =
@@ -124,10 +133,19 @@ let commit_with_retry ?(attempts = 5) ?(backoff = 0.001) ?durable t f =
       Option.iter Tse_db.Durable.commit durable;
       (v, attempt)
     | Error conflict ->
-      if attempt >= attempts then raise (Too_many_conflicts conflict)
+      if attempt >= attempts then begin
+        Metrics.incr m_retry_exhausted;
+        raise (Too_many_conflicts conflict)
+      end
       else begin
         Metrics.incr m_retries;
-        let delay = Float.min max_backoff (backoff *. float_of_int attempt) in
+        (* multiply by a factor in [0.5, 1.5) so retry storms from
+           writers that conflicted at the same instant de-synchronize
+           instead of colliding again in lock-step *)
+        let factor = 0.5 +. Random.State.float rng 1.0 in
+        let delay =
+          Float.min max_backoff (backoff *. float_of_int attempt *. factor)
+        in
         if delay > 0. then Unix.sleepf delay;
         go (attempt + 1)
       end

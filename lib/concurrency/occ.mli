@@ -55,17 +55,24 @@ exception Too_many_conflicts of conflict
 val commit_with_retry :
   ?attempts:int ->
   ?backoff:float ->
+  ?jitter:Random.State.t ->
   ?durable:Tse_db.Durable.t ->
   t ->
   (session -> 'a) ->
   'a * int
 (** [commit_with_retry t f] runs [f] against a fresh session and commits;
     on conflict it retries with a new session (so the body re-reads
-    current state), sleeping [backoff * attempt] seconds — capped at
-    50ms — between attempts. Returns the body's result and the number of
-    the attempt that committed (1 = no conflicts). An exception from [f]
-    aborts the session and propagates; if [f] itself aborts the session,
-    that counts as a conflict and is retried.
+    current state), sleeping [backoff * attempt * u] seconds — [u]
+    uniform in [0.5, 1.5), capped at 50ms — between attempts. The
+    jitter keeps writers that conflicted at the same instant from
+    retrying in lock-step; [jitter] supplies the random state (a seeded
+    process-wide default otherwise, so runs stay reproducible). Returns
+    the body's result and the number of the attempt that committed
+    (1 = no conflicts). An exception from [f] aborts the session and
+    propagates; if [f] itself aborts the session, that counts as a
+    conflict and is retried. Exhausting every attempt increments the
+    [occ.retry_exhausted] counter (alongside [occ.retries], which counts
+    each sleep) before raising.
 
     [durable] appends the validated writes to that handle's log as one
     {!Tse_db.Durable.commit} — through its sync policy, so [Group]/

@@ -1,0 +1,179 @@
+module Codec = Tse_store.Codec
+module Value = Tse_store.Value
+module Expr = Tse_schema.Expr
+
+(* Binary codec for [Change.t] lists — the payload of a WAL [Evo_begin]
+   record. Reuses the primitive codec plus the schema layer's value and
+   expression encodings, so every constructor round-trips exactly. *)
+
+let add_opt buf = function
+  | None -> Buffer.add_char buf '0'
+  | Some s ->
+    Buffer.add_char buf '1';
+    Codec.add_str buf s
+
+let read_opt s pos =
+  if pos >= String.length s then Codec.fail_at pos "eof in option";
+  match s.[pos] with
+  | '0' -> (None, pos + 1)
+  | '1' ->
+    let v, pos = Codec.read_str s (pos + 1) in
+    (Some v, pos)
+  | c -> Codec.fail_at pos (Printf.sprintf "bad option tag %C" c)
+
+let add_attr_def buf (d : Change.attr_def) =
+  Codec.add_str buf d.attr_name;
+  Value.encode_ty buf d.ty;
+  Value.encode buf d.default;
+  Buffer.add_char buf (if d.required then '1' else '0')
+
+let read_attr_def s pos =
+  let attr_name, pos = Codec.read_str s pos in
+  let ty, pos = Value.decode_ty s pos in
+  let default, pos = Value.decode s pos in
+  if pos >= String.length s then Codec.fail_at pos "eof in attr_def";
+  let required =
+    match s.[pos] with
+    | '1' -> true
+    | '0' -> false
+    | c -> Codec.fail_at pos (Printf.sprintf "bad required flag %C" c)
+  in
+  ({ Change.attr_name; ty; default; required }, pos + 1)
+
+let add_change buf (c : Change.t) =
+  match c with
+  | Add_attribute { cls; def } ->
+    Buffer.add_char buf 'a';
+    Codec.add_str buf cls;
+    add_attr_def buf def
+  | Delete_attribute { cls; attr_name } ->
+    Buffer.add_char buf 'd';
+    Codec.add_str buf cls;
+    Codec.add_str buf attr_name
+  | Add_method { cls; method_name; body } ->
+    Buffer.add_char buf 'm';
+    Codec.add_str buf cls;
+    Codec.add_str buf method_name;
+    Expr.encode buf body
+  | Delete_method { cls; method_name } ->
+    Buffer.add_char buf 'n';
+    Codec.add_str buf cls;
+    Codec.add_str buf method_name
+  | Add_edge { sup; sub } ->
+    Buffer.add_char buf 'e';
+    Codec.add_str buf sup;
+    Codec.add_str buf sub
+  | Delete_edge { sup; sub; connected_to } ->
+    Buffer.add_char buf 'f';
+    Codec.add_str buf sup;
+    Codec.add_str buf sub;
+    add_opt buf connected_to
+  | Add_class { cls; connected_to } ->
+    Buffer.add_char buf 'c';
+    Codec.add_str buf cls;
+    add_opt buf connected_to
+  | Delete_class { cls } ->
+    Buffer.add_char buf 'x';
+    Codec.add_str buf cls
+  | Insert_class { cls; sup; sub } ->
+    Buffer.add_char buf 'i';
+    Codec.add_str buf cls;
+    Codec.add_str buf sup;
+    Codec.add_str buf sub
+  | Delete_class_2 { cls } ->
+    Buffer.add_char buf 'y';
+    Codec.add_str buf cls
+  | Rename_class { old_name; new_name } ->
+    Buffer.add_char buf 'r';
+    Codec.add_str buf old_name;
+    Codec.add_str buf new_name
+  | Partition_class { cls; predicate; into_true; into_false } ->
+    Buffer.add_char buf 'p';
+    Codec.add_str buf cls;
+    Expr.encode buf predicate;
+    Codec.add_str buf into_true;
+    Codec.add_str buf into_false
+  | Coalesce_classes { a; b; as_name } ->
+    Buffer.add_char buf 'o';
+    Codec.add_str buf a;
+    Codec.add_str buf b;
+    Codec.add_str buf as_name
+
+let read_change s pos =
+  if pos >= String.length s then Codec.fail_at pos "eof in change";
+  let tag = s.[pos] in
+  let pos = pos + 1 in
+  match tag with
+  | 'a' ->
+    let cls, pos = Codec.read_str s pos in
+    let def, pos = read_attr_def s pos in
+    (Change.Add_attribute { cls; def }, pos)
+  | 'd' ->
+    let cls, pos = Codec.read_str s pos in
+    let attr_name, pos = Codec.read_str s pos in
+    (Change.Delete_attribute { cls; attr_name }, pos)
+  | 'm' ->
+    let cls, pos = Codec.read_str s pos in
+    let method_name, pos = Codec.read_str s pos in
+    let body, pos = Expr.decode s pos in
+    (Change.Add_method { cls; method_name; body }, pos)
+  | 'n' ->
+    let cls, pos = Codec.read_str s pos in
+    let method_name, pos = Codec.read_str s pos in
+    (Change.Delete_method { cls; method_name }, pos)
+  | 'e' ->
+    let sup, pos = Codec.read_str s pos in
+    let sub, pos = Codec.read_str s pos in
+    (Change.Add_edge { sup; sub }, pos)
+  | 'f' ->
+    let sup, pos = Codec.read_str s pos in
+    let sub, pos = Codec.read_str s pos in
+    let connected_to, pos = read_opt s pos in
+    (Change.Delete_edge { sup; sub; connected_to }, pos)
+  | 'c' ->
+    let cls, pos = Codec.read_str s pos in
+    let connected_to, pos = read_opt s pos in
+    (Change.Add_class { cls; connected_to }, pos)
+  | 'x' ->
+    let cls, pos = Codec.read_str s pos in
+    (Change.Delete_class { cls }, pos)
+  | 'i' ->
+    let cls, pos = Codec.read_str s pos in
+    let sup, pos = Codec.read_str s pos in
+    let sub, pos = Codec.read_str s pos in
+    (Change.Insert_class { cls; sup; sub }, pos)
+  | 'y' ->
+    let cls, pos = Codec.read_str s pos in
+    (Change.Delete_class_2 { cls }, pos)
+  | 'r' ->
+    let old_name, pos = Codec.read_str s pos in
+    let new_name, pos = Codec.read_str s pos in
+    (Change.Rename_class { old_name; new_name }, pos)
+  | 'p' ->
+    let cls, pos = Codec.read_str s pos in
+    let predicate, pos = Expr.decode s pos in
+    let into_true, pos = Codec.read_str s pos in
+    let into_false, pos = Codec.read_str s pos in
+    (Change.Partition_class { cls; predicate; into_true; into_false }, pos)
+  | 'o' ->
+    let a, pos = Codec.read_str s pos in
+    let b, pos = Codec.read_str s pos in
+    let as_name, pos = Codec.read_str s pos in
+    (Change.Coalesce_classes { a; b; as_name }, pos)
+  | c -> Codec.fail_at (pos - 1) (Printf.sprintf "bad change tag %C" c)
+
+let encode changes =
+  let buf = Buffer.create 128 in
+  Codec.add_list buf add_change changes;
+  Buffer.contents buf
+
+let decode s =
+  (* [Expr.decode] raises [Failure] on malformed input; normalize to the
+     codec's exception so callers have one error to catch *)
+  match
+    let changes, pos = Codec.read_list read_change s 0 in
+    if pos <> String.length s then Codec.fail_at pos "trailing change bytes";
+    changes
+  with
+  | changes -> changes
+  | exception Failure msg -> raise (Codec.Corrupt (msg, 0))

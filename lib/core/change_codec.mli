@@ -1,0 +1,13 @@
+(** Binary codec for {!Change.t} lists — the payload carried by a WAL
+    [Evo_begin] record, so a committed-but-unapplied evolution can be
+    replayed through {!Tsem.evolve_many} at recovery. Built on the
+    store's primitive codec plus {!Tse_store.Value} and
+    {!Tse_schema.Expr} encodings; every constructor round-trips. *)
+
+val encode : Change.t list -> string
+
+val decode : string -> Change.t list
+(** @raise Tse_store.Codec.Corrupt on malformed or trailing bytes. *)
+
+val add_change : Buffer.t -> Change.t -> unit
+val read_change : string -> int -> Change.t * int

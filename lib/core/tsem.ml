@@ -10,7 +10,15 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type t = { db : Database.t; history : History.t }
 
-let of_database db = { db; history = History.create () }
+let fp_change = "evolve.change"
+let () = Tse_store.Failpoint.declare fp_change
+
+let of_database ?history db =
+  let history =
+    match history with Some h -> h | None -> History.create ()
+  in
+  { db; history }
+
 let create () = of_database (Database.create ())
 let db t = t.db
 let history t = t.history
@@ -41,7 +49,9 @@ let evolve t ~view change =
     Tse_obs.Trace.with_span
       ~attrs:[ ("view", view); ("change", Change.to_string change) ]
       "evolve.change"
-    @@ fun () -> Translator.apply t.db old_view change
+    @@ fun () ->
+    Tse_store.Failpoint.hit fp_change;
+    Translator.apply t.db old_view change
   in
   let registered = History.replace t.history new_view in
   Log.info (fun m ->

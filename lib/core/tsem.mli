@@ -11,7 +11,11 @@
 type t
 
 val create : unit -> t
-val of_database : Tse_db.Database.t -> t
+
+val of_database : ?history:Tse_views.History.t -> Tse_db.Database.t -> t
+(** Wrap an existing database; [history] (default empty) seeds the view
+    schema history — recovery uses it to resume an evolved database. *)
+
 val db : t -> Tse_db.Database.t
 val history : t -> Tse_views.History.t
 

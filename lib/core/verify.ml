@@ -89,3 +89,62 @@ let updatable_classes db =
 let all_updatable db view =
   let marked = updatable_classes db in
   List.for_all (fun cid -> Oid.Set.mem cid marked) (View_schema.classes view)
+
+(* Whole-database structural fingerprint: everything observable through
+   names — classes (type signature, inheritance by name, sorted extent),
+   objects (tag + sorted slots) and, when given, the view history. No
+   property uids or other process-local identifiers appear, so the
+   fingerprint is stable across a crash/recover cycle and comparable
+   between a recovered database and a never-crashed twin. *)
+let db_fingerprint ?history db =
+  let graph = Database.graph db in
+  let heap = Database.heap db in
+  let buf = Buffer.create 1024 in
+  Schema_graph.classes graph
+  |> List.map (fun (k : Klass.t) ->
+         let name = Schema_graph.name_of graph k.cid in
+         let supers =
+           List.map (Schema_graph.name_of graph) k.supers
+           |> List.sort String.compare |> String.concat ","
+         in
+         Printf.sprintf "%s supers{%s} %s"
+           (class_fingerprint db ~name k.cid)
+           supers
+           (if Klass.is_base k then "base" else "virtual"))
+  |> List.sort String.compare
+  |> List.iter (fun line ->
+         Buffer.add_string buf line;
+         Buffer.add_char buf '\n');
+  Database.objects db |> List.sort Oid.compare
+  |> List.iter (fun o ->
+         let slots =
+           Tse_store.Heap.slots heap o
+           |> List.map (fun (n, v) ->
+                  Printf.sprintf "%s=%s" n (Tse_store.Value.to_string v))
+           |> List.sort String.compare |> String.concat ","
+         in
+         Buffer.add_string buf
+           (Printf.sprintf "obj %s tag{%s} slots{%s}\n" (Oid.to_string o)
+              (Tse_store.Heap.tag_of heap o)
+              slots));
+  (match history with
+  | None -> ()
+  | Some h ->
+    List.iter
+      (fun name ->
+        List.iter
+          (fun (v : View_schema.t) ->
+            let members =
+              List.map
+                (fun (cid, lname) ->
+                  Printf.sprintf "%s->%s"
+                    (Schema_graph.name_of graph cid)
+                    lname)
+                v.members
+              |> List.sort String.compare |> String.concat ","
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "view %s v%d {%s}\n" name v.version members))
+          (Tse_views.History.versions h name))
+      (Tse_views.History.view_names h));
+  Buffer.contents buf

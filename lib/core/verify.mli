@@ -36,3 +36,13 @@ val updatable_classes :
     set of updatable class ids. *)
 
 val all_updatable : Tse_db.Database.t -> Tse_views.View_schema.t -> bool
+
+val db_fingerprint :
+  ?history:Tse_views.History.t -> Tse_db.Database.t -> string
+(** Structural fingerprint of the whole database — classes (type
+    signatures, inheritance and extents, all by name), objects (tags and
+    slot values) and, when given, every view version in [history].
+    Deliberately free of property uids and any process-local state: a
+    crashed-and-recovered database fingerprints identically to a
+    never-crashed twin that executed the same logical operations. The
+    crash matrix and the soak harness's twin check are built on this. *)

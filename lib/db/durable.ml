@@ -5,6 +5,7 @@ module Snapshot = Tse_store.Snapshot
 module Storage = Tse_store.Storage
 module Wal = Tse_store.Wal
 module Recovery = Tse_store.Recovery
+module Failpoint = Tse_store.Failpoint
 module Schema_graph = Tse_schema.Schema_graph
 module Schema_codec = Tse_schema.Schema_codec
 module Klass = Tse_schema.Klass
@@ -26,6 +27,8 @@ type t = {
   mutable pending : Heap.op list;  (* newest first *)
   dirty_bases : unit Oid.Tbl.t;
   mutable last_schema : string;  (* last durable schema image *)
+  ext_last : (string, string) Hashtbl.t;  (* last durable blob per ext tag *)
+  ext_staged : (string, string) Hashtbl.t;  (* staged for the next commit *)
   mutable policy : sync_policy;
   mutable unsynced : int;  (* commits appended since the last sync barrier *)
   mutable closed : bool;
@@ -67,6 +70,13 @@ let env_policy () =
   | Some s -> policy_of_string s
 
 let () = Storage.declare_failpoints "checkpoint"
+
+(* the two WAL record boundaries of the evolution protocol: crash before
+   the intent record (nothing logged -> rollback) and crash between the
+   intent and the decision marker (dangling begin -> rollback) *)
+let fp_evo_begin = "evolve.log.begin"
+let fp_evo_commit = "evolve.log.commit"
+let () = List.iter Failpoint.declare [ fp_evo_begin; fp_evo_commit ]
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot format                                                     *)
@@ -110,6 +120,14 @@ let snapshot_string t =
   Buffer.add_string buf schema;
   Buffer.add_string buf (Printf.sprintf "\nBASES %d\n" (String.length bases));
   Buffer.add_string buf bases;
+  (* upper-layer extension blobs (e.g. the view history), keyed by the same
+     tags the log's [Ext] entries use, in a stable order *)
+  Hashtbl.fold (fun tag blob acc -> (tag, blob) :: acc) t.ext_last []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (tag, blob) ->
+         Buffer.add_string buf
+           (Printf.sprintf "\nEXT %s %d\n" tag (String.length blob));
+         Buffer.add_string buf blob);
   Buffer.add_string buf "\nHEAP\n";
   Buffer.add_string buf heap_text;
   Buffer.contents buf
@@ -144,6 +162,27 @@ let parse_snapshot text =
   if pos >= String.length text || text.[pos] <> '\n' then
     fail "missing newline after SCHEMA";
   let bases, pos = sized (pos + 1) "BASES" in
+  (* zero or more "\nEXT <tag> <len>\n<blob>" sections precede the heap *)
+  let exts = ref [] in
+  let pos = ref pos in
+  let starts_with prefix =
+    String.length text >= !pos + String.length prefix
+    && String.sub text !pos (String.length prefix) = prefix
+  in
+  while starts_with "\nEXT " do
+    let line_start = !pos + 1 in
+    let nl = line_end line_start in
+    (match
+       String.split_on_char ' ' (String.sub text line_start (nl - line_start))
+     with
+    | [ "EXT"; tag; n ] ->
+      let len = try int_of_string n with _ -> fail "bad EXT line" in
+      if String.length text < nl + 1 + len then fail "EXT truncated";
+      exts := (tag, String.sub text (nl + 1) len) :: !exts;
+      pos := nl + 1 + len
+    | _ -> fail "bad EXT line")
+  done;
+  let pos = !pos in
   let heap_marker = "\nHEAP\n" in
   if
     String.length text < pos + String.length heap_marker
@@ -154,7 +193,7 @@ let parse_snapshot text =
       (pos + String.length heap_marker)
       (String.length text - pos - String.length heap_marker)
   in
-  (seq, schema, bases, heap_text)
+  (seq, schema, bases, List.rev !exts, heap_text)
 
 (* ------------------------------------------------------------------ *)
 (* Open = snapshot + log replay                                        *)
@@ -182,33 +221,37 @@ let open_dir ?policy ~dir () =
   in
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let snap_file = snapshot_path dir in
-  let snap_seq, snap_schema, snap_bases, heap =
+  let snap_seq, snap_schema, snap_bases, snap_exts, heap =
     if Sys.file_exists snap_file then begin
       match Storage.read_file snap_file with
       | text ->
-        let seq, schema, bases, heap_text = parse_snapshot text in
+        let seq, schema, bases, exts, heap_text = parse_snapshot text in
         let heap =
           try Snapshot.of_string heap_text
           with Failure msg -> failwith ("Durable: snapshot: " ^ msg)
         in
-        (seq, Some schema, decode_bases bases, heap)
+        (seq, Some schema, decode_bases bases, exts, heap)
       | exception Sys_error msg ->
         failwith (Printf.sprintf "Durable.open_dir %S: %s" snap_file msg)
     end
-    else (0, None, [], Heap.create ())
+    else (0, None, [], [], Heap.create ())
   in
   (* replay the log tail: heap ops directly, extension entries into the
-     latest schema image and a base-membership overlay *)
+     latest schema image, a base-membership overlay, and an opaque
+     last-blob-wins table for every other tag (upper layers interpret
+     those through {!ext}) *)
   let latest_schema = ref snap_schema in
   let bases_tbl = Oid.Tbl.create 64 in
   List.iter (fun (o, cids) -> Oid.Tbl.replace bases_tbl o cids) snap_bases;
+  let ext_last : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  List.iter (fun (tag, blob) -> Hashtbl.replace ext_last tag blob) snap_exts;
   let on_ext kind blob =
     match kind with
     | "schema" -> latest_schema := Some blob
     | "bases" ->
       List.iter (fun (o, cids) -> Oid.Tbl.replace bases_tbl o cids)
         (decode_bases blob)
-    | other -> failwith ("Durable: unknown log extension " ^ other)
+    | other -> Hashtbl.replace ext_last other blob
   in
   let report =
     Recovery.replay ~heap ~path:(wal_path dir) ~after:snap_seq ~on_ext
@@ -241,6 +284,8 @@ let open_dir ?policy ~dir () =
       pending = [];
       dirty_bases = Oid.Tbl.create 16;
       last_schema = Schema_codec.encode_graph graph;
+      ext_last;
+      ext_staged = Hashtbl.create 4;
       policy;
       unsynced = 0;
       closed = false;
@@ -273,7 +318,22 @@ let set_policy t p =
   sync t;
   t.policy <- p
 
-let commit t =
+let stage_ext t ~tag blob =
+  check_open t "stage_ext";
+  (match tag with
+  | "schema" | "bases" ->
+    invalid_arg (Printf.sprintf "Durable.stage_ext: reserved tag %s" tag)
+  | _ -> ());
+  if String.contains tag ' ' || String.contains tag '\n' then
+    invalid_arg (Printf.sprintf "Durable.stage_ext: bad tag %S" tag);
+  Hashtbl.replace t.ext_staged tag blob
+
+let ext t tag =
+  match Hashtbl.find_opt t.ext_staged tag with
+  | Some blob -> Some blob
+  | None -> Hashtbl.find_opt t.ext_last tag
+
+let commit_extra t ~extra =
   check_open t "commit";
   Trace.with_span "durable.commit" @@ fun () ->
   let db = t.database in
@@ -304,12 +364,27 @@ let commit t =
     if String.equal schema t.last_schema then []
     else [ Wal.Ext ("schema", schema) ]
   in
-  if ops = [] && bases_entry = [] && schema_entry = [] then
+  let ext_entries =
+    Hashtbl.fold
+      (fun tag blob acc ->
+        if Hashtbl.find_opt t.ext_last tag = Some blob then acc
+        else (tag, blob) :: acc)
+      t.ext_staged []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (tag, blob) -> Wal.Ext (tag, blob))
+  in
+  if ops = [] && bases_entry = [] && schema_entry = [] && ext_entries = []
+     && extra = []
+  then begin
+    (* anything staged was byte-identical to the durable image *)
+    Hashtbl.reset t.ext_staged;
     Metrics.incr m_empty_commits
+  end
   else begin
     Metrics.incr m_commits;
     let gen_entry = [ Wal.Gen (Oid.Gen.peek (Heap.gen (Database.heap db))) ] in
-    let entries = ops @ gen_entry @ bases_entry @ schema_entry in
+    let entries = ops @ gen_entry @ bases_entry @ schema_entry @ ext_entries
+                  @ extra in
     let seq = t.seq + 1 in
     (match t.policy with
     | Every_commit -> Wal.append t.wal ~seq entries
@@ -322,10 +397,67 @@ let commit t =
     t.pending <- [];
     Oid.Tbl.reset t.dirty_bases;
     t.last_schema <- schema;
+    List.iter
+      (function
+        | Wal.Ext (tag, blob) -> Hashtbl.replace t.ext_last tag blob
+        | _ -> ())
+      ext_entries;
+    Hashtbl.reset t.ext_staged;
     match t.policy with
     | Group n when t.unsynced >= n -> sync t
     | Every_commit | Group _ | Manual -> ()
   end
+
+let commit t = commit_extra t ~extra:[]
+
+(* ------------------------------------------------------------------ *)
+(* Evolution protocol records                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The two-record unit is always eagerly fsynced whatever the sync
+   policy: the begin (intent) must be durable before the commit marker,
+   and the marker before any in-memory application starts — otherwise a
+   crash could leave applied effects whose decision record was lost.
+   [Wal.append] flushes any buffered group first, so log order is kept. *)
+
+let append_forced t entries =
+  let seq = t.seq + 1 in
+  Wal.append t.wal ~seq entries;
+  t.seq <- seq;
+  t.unsynced <- 0;
+  seq
+
+let log_evolve_begin t ~view payload =
+  check_open t "log_evolve_begin";
+  commit t;
+  (* the record's eid is its own batch sequence number *)
+  Failpoint.hit fp_evo_begin;
+  let seq = t.seq + 1 in
+  ignore (append_forced t [ Wal.Evo_begin { eid = seq; view; payload } ]);
+  Metrics.incr (Metrics.counter "durable.evo_begins");
+  seq
+
+let log_evolve_commit t ~eid ~view =
+  check_open t "log_evolve_commit";
+  Failpoint.hit fp_evo_commit;
+  ignore (append_forced t [ Wal.Evo_commit { eid; view } ]);
+  Metrics.incr (Metrics.counter "durable.evo_commits")
+
+let commit_evolve_done t ~eid =
+  check_open t "commit_evolve_done";
+  commit_extra t ~extra:[ Wal.Evo_done { eid; ok = true } ];
+  Metrics.incr (Metrics.counter "durable.evo_applied")
+
+let log_evolve_abort t ~eid =
+  check_open t "log_evolve_abort";
+  (* called on a handle whose in-memory state is poisoned by a failed
+     roll-forward: durably neutralize the committed intent WITHOUT
+     folding any of the poisoned pending state into the log *)
+  t.pending <- [];
+  Oid.Tbl.reset t.dirty_bases;
+  Hashtbl.reset t.ext_staged;
+  ignore (append_forced t [ Wal.Evo_done { eid; ok = false } ]);
+  Metrics.incr (Metrics.counter "durable.evo_aborted")
 
 let checkpoint t =
   check_open t "checkpoint";
@@ -347,3 +479,10 @@ let close t =
   t.closed <- true;
   Heap.set_logger (Database.heap t.database) None;
   Wal.close t.wal
+
+let abandon t =
+  if not t.closed then begin
+    t.closed <- true;
+    Heap.set_logger (Database.heap t.database) None;
+    Wal.abandon t.wal
+  end

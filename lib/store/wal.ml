@@ -4,6 +4,9 @@ type entry =
   | Op of Heap.op
   | Gen of int
   | Ext of string * string
+  | Evo_begin of { eid : int; view : string; payload : string }
+  | Evo_commit of { eid : int; view : string }
+  | Evo_done of { eid : int; ok : bool }
 
 type stats = {
   mutable fsyncs : int;
@@ -88,6 +91,19 @@ let add_entry buf = function
     Buffer.add_char buf 'X';
     Codec.add_str buf tag;
     Codec.add_str buf payload
+  | Evo_begin { eid; view; payload } ->
+    Buffer.add_char buf 'B';
+    Codec.add_int buf eid;
+    Codec.add_str buf view;
+    Codec.add_str buf payload
+  | Evo_commit { eid; view } ->
+    Buffer.add_char buf 'C';
+    Codec.add_int buf eid;
+    Codec.add_str buf view
+  | Evo_done { eid; ok } ->
+    Buffer.add_char buf 'D';
+    Codec.add_int buf eid;
+    Codec.add_int buf (if ok then 1 else 0)
 
 let read_entry s pos =
   if pos >= String.length s then Codec.fail_at pos "eof in entry";
@@ -123,6 +139,22 @@ let read_entry s pos =
     let tag, pos = Codec.read_str s (pos + 1) in
     let payload, pos = Codec.read_str s pos in
     (Ext (tag, payload), pos)
+  | 'B' ->
+    let eid, pos = Codec.read_int s (pos + 1) in
+    let view, pos = Codec.read_str s pos in
+    let payload, pos = Codec.read_str s pos in
+    (Evo_begin { eid; view; payload }, pos)
+  | 'C' ->
+    let eid, pos = Codec.read_int s (pos + 1) in
+    let view, pos = Codec.read_str s pos in
+    (Evo_commit { eid; view }, pos)
+  | 'D' ->
+    let eid, pos = Codec.read_int s (pos + 1) in
+    let ok, pos = Codec.read_int s pos in
+    (match ok with
+    | 0 -> (Evo_done { eid; ok = false }, pos)
+    | 1 -> (Evo_done { eid; ok = true }, pos)
+    | n -> Codec.fail_at pos (Printf.sprintf "bad Evo_done flag %d" n))
   | c -> Codec.fail_at pos (Printf.sprintf "bad entry tag %C" c)
 
 (* ---------- record framing: u32le length, u32le crc32, payload ---------- *)
@@ -272,6 +304,18 @@ let close t =
     (* flush any buffered group; a failed write or fsync here propagates
        rather than silently dropping the tail *)
     sync t;
+    t.fd <- None;
+    Unix.close fd
+
+let abandon t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    (* deliberately NOT synced: the handle is being dropped as if the
+       process had died (simulated crash, poisoned in-memory state) and
+       buffered frames must not reach the file *)
+    Buffer.clear t.pending;
+    t.pending_batches <- 0;
     t.fd <- None;
     Unix.close fd
 

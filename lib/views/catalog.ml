@@ -36,23 +36,10 @@ let schema_blob db history =
       add_cid buf o;
       Codec.add_list buf add_cid cids)
     bases;
-  (* view history *)
-  let views =
-    match history with
-    | None -> []
-    | Some h ->
-      List.concat_map (fun name -> History.versions h name) (History.view_names h)
-  in
-  Codec.add_list buf
-    (fun buf (v : View_schema.t) ->
-      Codec.add_str buf v.view_name;
-      Codec.add_int buf v.version;
-      Codec.add_list buf
-        (fun buf (cid, lname) ->
-          add_cid buf cid;
-          Codec.add_str buf lname)
-        v.members)
-    views;
+  (* view history (same codec as the durable layer's "views" blob) *)
+  (match history with
+  | None -> Codec.add_list buf History_codec.add_view []
+  | Some h -> History_codec.add_history buf h);
   Buffer.contents buf
 
 let to_string ?history db =
@@ -111,28 +98,7 @@ let of_string text =
     in
     let db = Database.restore ~heap ~graph ~bases in
     List.iter (fun (k : Klass.t) -> Database.note_new_class db k.cid) classes;
-    let views, _pos =
-      Codec.read_list
-        (fun s pos ->
-          let name, pos = Codec.read_str s pos in
-          let version, pos = Codec.read_int s pos in
-          let members, pos =
-            Codec.read_list
-              (fun s pos ->
-                let cid, pos = read_cid s pos in
-                let lname, pos = Codec.read_str s pos in
-                ((cid, lname), pos))
-              s pos
-          in
-          ({ View_schema.view_name = name; version; members }, pos))
-        blob pos
-    in
-    let history = History.create () in
-    List.iter
-      (fun (v : View_schema.t) -> History.register history v)
-      (List.sort
-         (fun (a : View_schema.t) b -> Int.compare a.version b.version)
-         views);
+    let history, _pos = History_codec.read_history blob pos in
     (db, history)
   with Codec.Corrupt (what, pos) ->
     failwith (Printf.sprintf "Catalog: %s at %d" what pos)

@@ -1,0 +1,54 @@
+module Codec = Tse_store.Codec
+module Schema_codec = Tse_schema.Schema_codec
+
+(* Binary codec for a full view-schema history: every version of every
+   view, flat. Shared between the catalog container format and the
+   durable layer's "views" extension blob. *)
+
+let add_view buf (v : View_schema.t) =
+  Codec.add_str buf v.view_name;
+  Codec.add_int buf v.version;
+  Codec.add_list buf
+    (fun buf (cid, lname) ->
+      Schema_codec.add_cid buf cid;
+      Codec.add_str buf lname)
+    v.members
+
+let read_view s pos =
+  let name, pos = Codec.read_str s pos in
+  let version, pos = Codec.read_int s pos in
+  let members, pos =
+    Codec.read_list
+      (fun s pos ->
+        let cid, pos = Schema_codec.read_cid s pos in
+        let lname, pos = Codec.read_str s pos in
+        ((cid, lname), pos))
+      s pos
+  in
+  ({ View_schema.view_name = name; version; members }, pos)
+
+let add_history buf h =
+  let views =
+    List.concat_map (fun name -> History.versions h name) (History.view_names h)
+  in
+  Codec.add_list buf add_view views
+
+let read_history s pos =
+  let views, pos = Codec.read_list read_view s pos in
+  let h = History.create () in
+  List.iter
+    (fun (v : View_schema.t) -> History.register h v)
+    (List.sort
+       (fun (a : View_schema.t) b -> Int.compare a.version b.version)
+       views);
+  (h, pos)
+
+let encode h =
+  let buf = Buffer.create 256 in
+  add_history buf h;
+  Buffer.contents buf
+
+let decode s =
+  let h, pos = read_history s 0 in
+  if pos <> String.length s then Codec.fail_at pos "trailing history bytes";
+  h

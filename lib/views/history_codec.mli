@@ -1,0 +1,18 @@
+(** Binary codec for the view-schema {!History}: every version of every
+    view. One encoding shared by the catalog container format and the
+    durable layer's ["views"] extension blob, so the history a recovery
+    reconstructs is byte-compatible with the one a catalog round-trip
+    produces. *)
+
+val add_view : Buffer.t -> View_schema.t -> unit
+val read_view : string -> int -> View_schema.t * int
+
+val add_history : Buffer.t -> History.t -> unit
+val read_history : string -> int -> History.t * int
+(** Versions are re-registered oldest-first, so the decoded history
+    satisfies {!History.register}'s sequencing invariant. *)
+
+val encode : History.t -> string
+
+val decode : string -> History.t
+(** @raise Tse_store.Codec.Corrupt on malformed or trailing bytes. *)

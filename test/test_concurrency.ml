@@ -175,6 +175,42 @@ let test_retry_gives_up () =
   check vpp "no attempt's write leaked" (Value.String "ada")
     (Database.get_prop u.db o "name")
 
+let test_retry_exhausted_counter () =
+  let _u, occ, o = fixture () in
+  let before = Tse_obs.Metrics.find_counter "occ.retry_exhausted" in
+  (try
+     ignore
+       (Occ.commit_with_retry ~attempts:2 ~backoff:0. occ (fun s ->
+            ignore (Occ.read s o "age");
+            Database.set_attr _u.db o "age" (Value.Int 1);
+            Occ.write s o "name" (Value.String "never")));
+     Alcotest.fail "expected Too_many_conflicts"
+   with Occ.Too_many_conflicts _ -> ());
+  check Alcotest.int "occ.retry_exhausted bumped once" (before + 1)
+    (Tse_obs.Metrics.find_counter "occ.retry_exhausted")
+
+(* Retry schedules are a pure function of the supplied jitter state: two
+   runs with equal seeds commit on the same attempt, and an explicit
+   state isolates the test from the process-wide default. *)
+let test_retry_jitter_seeded () =
+  let run seed =
+    let u, occ, o = fixture () in
+    let tries = ref 0 in
+    let _, attempt =
+      Occ.commit_with_retry ~backoff:0.0001
+        ~jitter:(Random.State.make [| seed |])
+        occ
+        (fun s ->
+          incr tries;
+          ignore (Occ.read s o "age");
+          if !tries <= 2 then Database.set_attr u.db o "age" (Value.Int !tries);
+          Occ.write s o "name" (Value.String "jit"))
+    in
+    attempt
+  in
+  check Alcotest.int "same seed, same schedule" (run 11) (run 11);
+  check Alcotest.int "conflicts resolved on third attempt" 3 (run 12)
+
 let test_retry_propagates_exceptions () =
   let _u, occ, o = fixture () in
   let tries = ref 0 in
@@ -250,6 +286,10 @@ let suite =
     Alcotest.test_case "retry: succeeds after conflict" `Quick
       test_retry_after_conflict;
     Alcotest.test_case "retry: bounded attempts" `Quick test_retry_gives_up;
+    Alcotest.test_case "retry: exhaustion counted" `Quick
+      test_retry_exhausted_counter;
+    Alcotest.test_case "retry: jitter is seeded" `Quick
+      test_retry_jitter_seeded;
     Alcotest.test_case "retry: exceptions propagate" `Quick
       test_retry_propagates_exceptions;
     Alcotest.test_case "retry: winners reach the durable layer" `Quick

@@ -459,6 +459,12 @@ let test_matrix_covers_every_failpoint () =
         [ "snapshot"; "catalog" ]
     @ [ "txn.rollback" (* exercised in test_store *) ]
     @ List.map (fun (n, _, _) -> n) (atomic_write_cases "checkpoint")
+    @ [
+        (* the evolution crash matrix in test_evolution_recovery *)
+        "evolve.change"; "evolve.derive"; "evolve.classify";
+        "evolve.integrate"; "evolve.reclassify"; "evolve.log.begin";
+        "evolve.log.commit";
+      ]
   in
   check
     Alcotest.(list string)

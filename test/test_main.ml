@@ -22,4 +22,5 @@ let () =
       ("query", Test_query.suite);
       ("concurrency", Test_concurrency.suite);
       ("durability", Test_durability.suite);
+      ("evolution-recovery", Test_evolution_recovery.suite);
     ]
