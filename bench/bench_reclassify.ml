@@ -130,6 +130,10 @@ let json_of groups ~smoke ~objects ~writes ~indexed ~scanned =
      else float_of_int memo_hits /. float_of_int verdicts);
   Printf.bprintf b "    \"objects_visited_total\": %d,\n"
     (Metrics.find_counter "reclass.objects_visited");
+  Printf.bprintf b "    \"compiled_evals_total\": %d,\n"
+    (Metrics.find_counter "reclass.compiled_evals");
+  Printf.bprintf b "    \"pred_compiles_total\": %d,\n"
+    (Metrics.find_counter "reclass.pred_compiles");
   Printf.bprintf b "    \"untouched_attr_skips_total\": %d,\n"
     (Metrics.find_counter "reclass.untouched_attr_skips");
   Printf.bprintf b
@@ -161,7 +165,12 @@ let json_of groups ~smoke ~objects ~writes ~indexed ~scanned =
 let run ~smoke () =
   (* scope the registry to this run so the metrics section is readable *)
   Metrics.reset ();
-  let objects = if smoke then 40 else 300 in
+  (* BENCH_RECLASS_OBJECTS scales the population without a rebuild *)
+  let objects =
+    match Sys.getenv_opt "BENCH_RECLASS_OBJECTS" with
+    | Some s -> int_of_string s
+    | None -> if smoke then 40 else 300
+  in
   let writes = if smoke then 400 else 4000 in
   Printf.printf
     "reclassification: write-heavy, %d objects, %d writes per side\n%!"

@@ -387,6 +387,10 @@ let () =
     Bench_reclassify.run ~smoke:(List.mem "--smoke" argv) ();
     exit 0
   end;
+  if List.mem "query" argv then begin
+    Bench_query.run ~smoke:(List.mem "--smoke" argv) ();
+    exit 0
+  end;
   if List.mem "commit" argv then begin
     Bench_commit.run ~smoke:(List.mem "--smoke" argv) ();
     exit 0

@@ -271,14 +271,20 @@ let cmd_stats rest =
   | _ -> failwith "usage: stats [json]"
 
 let cmd_index s rest =
-  match words rest with
-  | [ cls; attr; "in"; vname ] ->
+  let build kind kname cls attr vname =
     let v = find_view s vname in
     let cid = View_schema.cid_of_exn v cls in
-    Tse_query.Indexes.ensure s.indexes cid attr;
-    Printf.printf "index built on %s.%s (%d bytes overhead)\n" cls attr
+    Tse_query.Indexes.ensure ~kind s.indexes cid attr;
+    Printf.printf "%s index built on %s.%s (%d bytes overhead)\n" kname cls
+      attr
       (Tse_query.Indexes.overhead_bytes s.indexes)
-  | _ -> failwith "usage: index CLASS ATTR in VIEW"
+  in
+  match words rest with
+  | [ cls; attr; "in"; vname ] ->
+    build Tse_query.Indexes.Hash "hash" cls attr vname
+  | [ "range"; cls; attr; "in"; vname ] ->
+    build Tse_query.Indexes.Ordered "range" cls attr vname
+  | _ -> failwith "usage: index [range] CLASS ATTR in VIEW"
 
 let cmd_populate s rest =
   match words rest with
@@ -390,8 +396,10 @@ let help () =
       "  merge V1 V2 as NAME                Section 7 version merging";
       "  defineVC N as (select from C where ...)   object-algebra view class";
       "  select from C in VIEW where EXPR   run a query (shows the plan)";
-      "  explain from C in VIEW where EXPR  plan, index, rows scanned/returned";
-      "  index C ATTR in VIEW               build a maintained index";
+      "  explain from C in VIEW where EXPR  compiled plan, index kind, conjunct";
+      "                                     order, plan-cache hit/miss, rows";
+      "  index C ATTR in VIEW               build a maintained hash index";
+      "  index range C ATTR in VIEW         build a maintained range index";
       "  lint [json]                        static analysis of the global schema";
       "  stats [json]                       dump the metrics registry";
       "  check                              run the consistency oracle";

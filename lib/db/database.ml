@@ -44,6 +44,9 @@ type t = {
   mutable cache_gen : int;  (* bumped when per-object caches must die *)
   verdict_cache : verdict_state Oid.Tbl.t;
   resolve_cache : (int * (string, (cid * Prop.t) option) Hashtbl.t) Oid.Tbl.t;
+  (* compiled select predicates, keyed by select cid; entries carry the
+     compile stamp they were built under (see [compile_stamp]) *)
+  pred_cache : (int * (Oid.t -> bool)) Oid.Tbl.t;
   mutable full_reclassify : bool;  (* oracle escape hatch *)
   mutable formula_evals : int;
   mutable nonconverge_warned : bool;
@@ -76,6 +79,8 @@ let m_attr_skips = Metrics.counter "reclass.untouched_attr_skips"
 let m_rounds = Metrics.counter "reclass.fixpoint_rounds"
 let m_fuel_exhausted = Metrics.counter "reclass.fuel_exhausted"
 let m_nonconvergence = Metrics.counter "reclass.nonconvergence_warnings"
+let m_compiled_evals = Metrics.counter "reclass.compiled_evals"
+let m_pred_compiles = Metrics.counter "reclass.pred_compiles"
 
 let env_full_reclassify () =
   match Sys.getenv_opt "DB_FULL_RECLASSIFY" with
@@ -101,6 +106,7 @@ let create () =
     cache_gen = 0;
     verdict_cache = Oid.Tbl.create 256;
     resolve_cache = Oid.Tbl.create 256;
+    pred_cache = Oid.Tbl.create 16;
     full_reclassify = env_full_reclassify ();
     formula_evals = 0;
     nonconverge_warned = false;
@@ -338,6 +344,80 @@ let holds t o e =
   | exception Expr.Type_error _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Compiled predicate evaluation                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Anything compiled against this database is valid only while the stamp
+   is unchanged. The graph version covers every Tsem-mediated evolution
+   (they all register or remove classes); [cache_gen] additionally covers
+   direct schema surgery, which mutates class records in place and then
+   bumps it via [reclassify_all]. Both components only grow, so their sum
+   changes whenever either does. *)
+let compile_stamp t = Schema_graph.version t.graph + t.cache_gen
+
+(* Binder for Expr_compile: names are resolved once at compile time.
+
+   The attribute fast path rests on a static fact about the whole graph:
+   when exactly ONE class declares a stored local property under [name],
+   per-object resolution can only ever pick that class (a non-member
+   raises Unknown_property, a member reads its slice at that class, with
+   the declared default standing in for an unset slot). That skips the
+   member_classes fold + candidate filtering that [get_prop] pays on
+   every read. Any other shape — several declarers, a method, no
+   declarer — falls back to the dynamic resolver, which is always
+   correct. *)
+let compiled_binder t =
+  let b_attr name =
+    let declaring =
+      List.filter_map
+        (fun (k : Klass.t) ->
+          match Klass.local_prop k name with
+          | Some p -> Some (k.cid, p)
+          | None -> None)
+        (Schema_graph.classes t.graph)
+    in
+    match declaring with
+    | [ (cid, { Prop.body = Prop.Stored { default; _ }; _ }) ] ->
+      let read = Slicing.slot_reader t.model cid name in
+      fun o -> begin
+        match read o with
+        | Some Value.Null -> default
+        | Some v -> v
+        | None -> raise (Expr.Unknown_property name)
+      end
+    | _ -> fun o -> get_prop t o name
+  in
+  let b_member cname =
+    match Schema_graph.find_by_name t.graph cname with
+    | Some k ->
+      let cid = k.Klass.cid in
+      fun o -> is_member t o cid
+    | None -> fun _ -> false
+  in
+  {
+    Tse_schema.Expr_compile.b_attr;
+    b_member;
+    b_self = (fun o -> Value.Ref o);
+  }
+
+let compile_pred t pred =
+  Metrics.incr m_pred_compiles;
+  Tse_schema.Expr_compile.compile_pred (compiled_binder t) pred
+
+(* Per-select-class cache of compiled predicates, used by the
+   reclassification engine. The oracle path deliberately keeps the
+   interpreted [eval_pred] so differential tests compare compiled against
+   interpreted evaluation. *)
+let compiled_select_pred t cid pred =
+  let stamp = compile_stamp t in
+  match Oid.Tbl.find_opt t.pred_cache cid with
+  | Some (s, fn) when s = stamp -> fn
+  | _ ->
+    let fn = compile_pred t pred in
+    Oid.Tbl.replace t.pred_cache cid (stamp, fn);
+    fn
+
+(* ------------------------------------------------------------------ *)
 (* Membership fixpoint                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -371,13 +451,22 @@ let eval_pred t o pred =
   Metrics.incr m_evals;
   holds t o pred
 
+(* The incremental engine's evaluation path: same verdict as [eval_pred]
+   (Expr_compile.compile_pred implements the [holds] contract), obtained
+   through the per-select compiled closure. *)
+let eval_pred_compiled t o cid pred =
+  t.formula_evals <- t.formula_evals + 1;
+  Metrics.incr m_evals;
+  Metrics.incr m_compiled_evals;
+  (compiled_select_pred t cid pred) o
+
 let cached_verdict t vs o cid pred =
   match Oid.Tbl.find_opt vs.verdicts cid with
   | Some b ->
     Metrics.incr m_memo_hits;
     b
   | None ->
-    let b = eval_pred t o pred in
+    let b = eval_pred_compiled t o cid pred in
     Oid.Tbl.replace vs.verdicts cid b;
     b
 
@@ -547,7 +636,7 @@ let reclassify_incr t o dirty =
           | Some old -> begin
             match (Schema_graph.find_exn t.graph cid).kind with
             | Klass.Virtual (Klass.Select (_, pred)) ->
-              let now = eval_pred t o pred in
+              let now = eval_pred_compiled t o cid pred in
               Oid.Tbl.replace vs.verdicts cid now;
               changed || not (Bool.equal old now)
             | Klass.Base | Klass.Virtual _ -> changed
@@ -709,6 +798,7 @@ let restore ~heap ~graph ~bases =
       cache_gen = 0;
       verdict_cache = Oid.Tbl.create 256;
       resolve_cache = Oid.Tbl.create 256;
+      pred_cache = Oid.Tbl.create 16;
       full_reclassify = env_full_reclassify ();
       formula_evals = 0;
       nonconverge_warned = false;

@@ -127,6 +127,31 @@ val holds : t -> Tse_store.Oid.t -> Tse_schema.Expr.t -> bool
     rather than raising (an object that lacks the attribute cannot satisfy
     a condition on it). *)
 
+(** {2 Compiled predicate evaluation}
+
+    The query engine and the reclassification engine share one compiled
+    evaluation path: predicates are lowered once (constant folding,
+    conjunct ordering, fast-path attribute getters bound against the
+    current schema) and the resulting closure is reused per object. *)
+
+val compile_stamp : t -> int
+(** Validity stamp for anything compiled against this database's schema
+    state. Strictly increases on every schema evolution (graph version)
+    and on direct schema surgery / cache retirement ([reclassify_all]);
+    callers caching compiled artifacts must discard them when the stamp
+    they were built under no longer matches. *)
+
+val compile_pred : t -> Tse_schema.Expr.t -> Tse_store.Oid.t -> bool
+(** Compile a predicate into a per-object membership test with exactly
+    the {!holds} semantics (evaluation errors absorbed into [false]).
+    The closure reads live object state but binds schema facts at compile
+    time — it must be discarded when {!compile_stamp} changes. *)
+
+val compiled_binder : t -> Tse_store.Oid.t Tse_schema.Expr_compile.binder
+(** The name binder {!compile_pred} uses (fast-path attribute getters,
+    pre-resolved class membership tests); exposed so the query layer can
+    compile value-context expressions against the same semantics. *)
+
 (** {2 Change notifications}
 
     Observers for derived structures (indexes, caches). Events fire after

@@ -13,15 +13,15 @@ type t = {
   stats : Stats.t;
   (* conceptual oid -> (cid -> impl oid); the heap back-pointers are the
      persistent form, this table is the fast in-memory image. *)
-  impls : Oid.t Oid.Tbl.t Oid.Tbl.t;
+  impls : Oid.t Oid.Tbl.t Oid.Dense.t;
   (* impl oid -> conceptual oid *)
-  owners : Oid.t Oid.Tbl.t;
+  owners : Oid.t Oid.Dense.t;
 }
 
 let name = "object-slicing"
 
 let create ~graph ~heap ~stats =
-  { graph; heap; stats; impls = Oid.Tbl.create 256; owners = Oid.Tbl.create 256 }
+  { graph; heap; stats; impls = Oid.Dense.create 256; owners = Oid.Dense.create 256 }
 
 let graph t = t.graph
 let heap t = t.heap
@@ -31,20 +31,35 @@ let conceptual_tag = "@obj"
 let impl_tag cid = "@impl:" ^ string_of_int (Oid.to_int cid)
 
 let impl_table t o =
-  match Oid.Tbl.find_opt t.impls o with
+  match Oid.Dense.find_opt t.impls o with
   | Some tbl -> tbl
   | None -> invalid_arg (Printf.sprintf "Slicing: unknown object %s" (Oid.to_string o))
 
 let impl_of t o cid =
-  match Oid.Tbl.find_opt t.impls o with
+  match Oid.Dense.find_opt t.impls o with
   | None -> None
   | Some tbl -> Oid.Tbl.find_opt tbl cid
 
+(* Compiled-query fast path: a flat closure reading [name] from the
+   implementation object of a fixed class, with the table captures
+   hoisted out of the per-object hot loop. [None] when the object has no
+   implementation at [cid] (unknown object or non-member). *)
+let slot_reader t cid name =
+  let impls = t.impls in
+  let read = Heap.slot_reader t.heap name in
+  fun o ->
+    match Oid.Dense.find_opt impls o with
+    | None -> None
+    | Some tbl -> (
+      match Oid.Tbl.find_opt tbl cid with
+      | None -> None
+      | Some impl -> Some (read impl))
+
 let impl_count t o = Oid.Tbl.length (impl_table t o)
-let conceptual_of t impl = Oid.Tbl.find_opt t.owners impl
+let conceptual_of t impl = Oid.Dense.find_opt t.owners impl
 let is_member t o cid =
   Oid.equal cid (Schema_graph.root t.graph)
-  || (match Oid.Tbl.find_opt t.impls o with
+  || (match Oid.Dense.find_opt t.impls o with
      | None -> false
      | Some tbl -> Oid.Tbl.mem tbl cid)
 
@@ -60,7 +75,7 @@ let add_impl t o cid =
     Heap.set_slot t.heap impl "__conceptual" (Value.Ref o);
     Heap.set_slot t.heap o ("__impl:" ^ string_of_int (Oid.to_int cid)) (Value.Ref impl);
     Oid.Tbl.replace tbl cid impl;
-    Oid.Tbl.replace t.owners impl o;
+    Oid.Dense.replace t.owners impl o;
     Stats.incr_oids t.stats;
     Stats.add_pointers t.stats 2
   end
@@ -73,7 +88,7 @@ let remove_impl t o cid =
     Heap.free t.heap impl;
     Heap.remove_slot t.heap o ("__impl:" ^ string_of_int (Oid.to_int cid));
     Oid.Tbl.remove tbl cid;
-    Oid.Tbl.remove t.owners impl
+    Oid.Dense.remove t.owners impl
 
 (* Membership closure: joining a class implies joining its ancestors
    (the root stays implicit). *)
@@ -102,7 +117,7 @@ let set_membership t o cids =
 
 let create_object t cid =
   let o = Heap.alloc t.heap ~tag:conceptual_tag in
-  Oid.Tbl.replace t.impls o (Oid.Tbl.create 4);
+  Oid.Dense.replace t.impls o (Oid.Tbl.create 4);
   Stats.incr_oids t.stats;
   Stats.incr_objects t.stats;
   ensure_member t o cid;
@@ -113,9 +128,9 @@ let destroy_object t o =
   Oid.Tbl.iter
     (fun _ impl ->
       Heap.free t.heap impl;
-      Oid.Tbl.remove t.owners impl)
+      Oid.Dense.remove t.owners impl)
     tbl;
-  Oid.Tbl.remove t.impls o;
+  Oid.Dense.remove t.impls o;
   Heap.free t.heap o
 
 let add_to_class = ensure_member
@@ -218,8 +233,8 @@ let set_attr t o attr_name v =
 let cast t o cid =
   if Oid.equal cid (Schema_graph.root t.graph) then Some o else impl_of t o cid
 
-let objects t = Oid.Tbl.fold (fun o _ acc -> o :: acc) t.impls []
-let object_count t = Oid.Tbl.length t.impls
+let objects t = Oid.Dense.fold (fun o _ acc -> o :: acc) t.impls []
+let object_count t = Oid.Dense.length t.impls
 
 let rebuild ~graph ~heap ~stats =
   let t = create ~graph ~heap ~stats in
@@ -227,7 +242,7 @@ let rebuild ~graph ~heap ~stats =
   Heap.iter heap (fun (cell : Heap.cell) ->
       if String.equal cell.tag conceptual_tag then begin
         let tbl = Oid.Tbl.create 4 in
-        Oid.Tbl.replace t.impls cell.oid tbl;
+        Oid.Dense.replace t.impls cell.oid tbl;
         Stats.incr_oids stats;
         Stats.incr_objects stats
       end);
@@ -245,10 +260,10 @@ let rebuild ~graph ~heap ~stats =
         in
         match Heap.get_slot heap cell.oid "__conceptual" with
         | Value.Ref owner ->
-          (match Oid.Tbl.find_opt t.impls owner with
+          (match Oid.Dense.find_opt t.impls owner with
           | Some tbl -> Oid.Tbl.replace tbl cid cell.oid
           | None -> failwith "Slicing.rebuild: orphan implementation object");
-          Oid.Tbl.replace t.owners cell.oid owner;
+          Oid.Dense.replace t.owners cell.oid owner;
           Stats.incr_oids stats;
           Stats.add_pointers stats 2;
           (* recount payload bytes (skip bookkeeping slots) *)

@@ -33,6 +33,14 @@ val impl_of : t -> Tse_store.Oid.t -> Tse_schema.Klass.cid -> Tse_store.Oid.t op
 (** The implementation object representing the conceptual object at the
     class, if the object is a member. *)
 
+val slot_reader :
+  t -> Tse_schema.Klass.cid -> string -> Tse_store.Oid.t -> Tse_store.Value.t option
+(** [slot_reader t cid name] specializes "read slot [name] from the
+    object's implementation at [cid]" into one flat closure with every
+    table capture hoisted out of the per-object loop — the read path of
+    compiled predicates. [None] when the object has no implementation at
+    [cid]; missing slots read as [Value.Null]. *)
+
 val impl_count : t -> Tse_store.Oid.t -> int
 (** [n_impl] for the object. *)
 

@@ -7,68 +7,228 @@ module Trace = Tse_obs.Trace
 
 type cid = Tse_schema.Klass.cid
 
-type plan = Index_lookup of { attr : string; residual : bool } | Extent_scan
+type index_kind = Hash | Range
+
+type plan =
+  | Index_lookup of { attr : string; kind : index_kind; residual : bool }
+  | Range_scan of { attr : string; residual : bool }
+  | Extent_scan
 
 let m_selects = Metrics.counter "query.selects"
 let m_index_lookups = Metrics.counter "query.index_lookups"
+let m_range_scans = Metrics.counter "query.range_scans"
 let m_extent_scans = Metrics.counter "query.extent_scans"
 let m_rows_scanned = Metrics.counter "query.rows_scanned"
 let m_rows_returned = Metrics.counter "query.rows_returned"
+let m_pushdowns = Metrics.counter "query.pushdowns"
 
-(* Split a predicate into [attr = const] conjuncts and the rest. *)
-let rec equality_conjuncts = function
-  | Expr.Cmp (Expr.Eq, Expr.Attr a, Expr.Const v)
-  | Expr.Cmp (Expr.Eq, Expr.Const v, Expr.Attr a) ->
-    ([ (a, v) ], [])
-  | Expr.And (l, r) ->
-    let el, rl = equality_conjuncts l in
-    let er, rr = equality_conjuncts r in
-    (el @ er, rl @ rr)
-  | e -> ([], [ e ])
+(* --- access-path selection ----------------------------------------------
 
-let rec conjoin = function
-  | [] -> Expr.bool true
-  | [ e ] -> e
-  | e :: rest -> Expr.And (e, conjoin rest)
+   Chosen per execution from the cached compiled artifact: index
+   availability and cardinalities are not version-stamped, so only the
+   predicate decomposition is cached, never the chosen path. *)
 
-let choose db indexes cid pred =
-  ignore db;
-  let eqs, residual = equality_conjuncts pred in
-  let usable = List.filter (fun (a, _) -> Indexes.indexed indexes cid a) eqs in
-  match usable with
-  | [] -> (Extent_scan, None)
-  | first :: rest ->
-    (* prefer the most selective index: highest key cardinality means the
-       smallest buckets over the same extent (ties keep predicate order) *)
-    let cardinality (a, _) =
-      Option.value (Indexes.key_cardinality indexes cid a) ~default:0
-    in
-    let attr, v =
-      List.fold_left
-        (fun best c -> if cardinality c > cardinality best then c else best)
-        first rest
-    in
-    (* remaining equality conjuncts join the residual predicate *)
-    let rest =
-      List.filter_map
-        (fun (a, w) ->
-          if String.equal a attr && Value.equal v w then None
-          else Some Expr.(Cmp (Eq, Attr a, Const w)))
-        eqs
-      @ residual
-    in
-    ( Index_lookup { attr; residual = rest <> [] },
-      Some (attr, v, conjoin rest, rest <> []) )
+type access =
+  | A_eq of {
+      a_cls : cid;
+      a_depth : int;
+      a_attr : string;
+      a_kind : Indexes.kind;
+      a_value : Value.t;
+      a_consumed : Compile.conjunct list;
+    }
+  | A_range of {
+      a_cls : cid;
+      a_depth : int;
+      a_attr : string;
+      a_lo : Tse_store.Ord_index.bound option;
+      a_hi : Tse_store.Ord_index.bound option;
+      a_consumed : Compile.conjunct list;
+    }
+  | A_scan
 
-let plan db indexes cid pred = fst (choose db indexes cid pred)
+(* Planning levels: the queried class itself, then each Select ancestor.
+   At depth [d] the sargable conjuncts are the query's own plus those of
+   every select predicate between the queried class and that ancestor —
+   membership in the queried extent implies all of them, so an ancestor
+   index probe only needs intersecting back with the queried extent. *)
+let levels (compiled : Compile.compiled) cid =
+  let rec go cls depth conjs chain acc =
+    let acc = (cls, depth, conjs) :: acc in
+    match chain with
+    | [] -> List.rev acc
+    | (src, cs) :: rest -> go src (depth + 1) (conjs @ cs) rest acc
+  in
+  go cid 0 compiled.Compile.cp_conjuncts compiled.Compile.cp_chain []
+
+let bound_of_cmp op v =
+  match op with
+  | Expr.Gt -> `Lo (v, false)
+  | Expr.Ge -> `Lo (v, true)
+  | Expr.Lt -> `Hi (v, false)
+  | Expr.Le -> `Hi (v, true)
+  | Expr.Eq | Expr.Ne -> `None
+
+(* Candidate paths at one level, with their estimated candidate counts. *)
+let level_candidates indexes (cls, depth, conjs) =
+  let avg_bucket attr =
+    match (Indexes.entry_count indexes cls attr, Indexes.key_cardinality indexes cls attr)
+    with
+    | Some n, Some k -> (n + Stdlib.max 1 k - 1) / Stdlib.max 1 k
+    | _ -> Stdlib.max_int
+  in
+  (* equality probes: both index kinds answer them *)
+  let eqs =
+    List.filter_map
+      (fun (c : Compile.conjunct) ->
+        match c.c_sarg with
+        | Some (Compile.Sarg_eq (a, v)) -> begin
+          match Indexes.kind_of indexes cls a with
+          | Some kind ->
+            Some
+              ( avg_bucket a,
+                A_eq
+                  {
+                    a_cls = cls;
+                    a_depth = depth;
+                    a_attr = a;
+                    a_kind = kind;
+                    a_value = v;
+                    a_consumed = [ c ];
+                  } )
+          | None -> None
+        end
+        | _ -> None)
+      conjs
+  in
+  (* range windows: collect the first lower and first upper bound per
+     ordered-indexed attribute; further range conjuncts on the same
+     attribute stay in the residual *)
+  let range_attrs =
+    List.filter_map
+      (fun (c : Compile.conjunct) ->
+        match c.c_sarg with
+        | Some (Compile.Sarg_cmp (a, _, _))
+          when Indexes.kind_of indexes cls a = Some Indexes.Ordered ->
+          Some a
+        | _ -> None)
+      conjs
+    |> List.sort_uniq String.compare
+  in
+  let ranges =
+    List.filter_map
+      (fun a ->
+        let lo = ref None and hi = ref None and consumed = ref [] in
+        List.iter
+          (fun (c : Compile.conjunct) ->
+            match c.c_sarg with
+            | Some (Compile.Sarg_cmp (a', op, v)) when String.equal a a' -> begin
+              match bound_of_cmp op v with
+              | `Lo b when !lo = None ->
+                lo := Some b;
+                consumed := c :: !consumed
+              | `Hi b when !hi = None ->
+                hi := Some b;
+                consumed := c :: !consumed
+              | _ -> ()
+            end
+            | _ -> ())
+          conjs;
+        if !lo = None && !hi = None then None
+        else
+          let pop =
+            match Indexes.entry_count indexes cls a with
+            | Some n -> n
+            | None -> Stdlib.max_int
+          in
+          (* crude textbook selectivity: 1/2 per open side, 1/4 boxed *)
+          let est =
+            if pop = Stdlib.max_int then pop
+            else if !lo <> None && !hi <> None then pop / 4
+            else pop / 2
+          in
+          Some
+            ( est,
+              A_range
+                {
+                  a_cls = cls;
+                  a_depth = depth;
+                  a_attr = a;
+                  a_lo = !lo;
+                  a_hi = !hi;
+                  a_consumed = !consumed;
+                } ))
+      range_attrs
+  in
+  eqs @ ranges
+
+let choose_access db indexes cid compiled =
+  let scan_cost = Oid.Set.cardinal (Database.extent db cid) in
+  let candidates =
+    List.concat_map (level_candidates indexes) (levels compiled cid)
+  in
+  let best =
+    List.fold_left
+      (fun best (est, a) ->
+        match best with
+        | Some (best_est, _) when best_est <= est -> best
+        | _ -> Some (est, a))
+      None candidates
+  in
+  match best with
+  | Some (est, a) when est <= scan_cost -> a
+  | _ -> A_scan
+
+let plan_of_access residual = function
+  | A_eq { a_attr; a_kind; _ } ->
+    Index_lookup
+      {
+        attr = a_attr;
+        kind = (match a_kind with Indexes.Hash -> Hash | Indexes.Ordered -> Range);
+        residual;
+      }
+  | A_range { a_attr; _ } -> Range_scan { attr = a_attr; residual }
+  | A_scan -> Extent_scan
+
+(* Residual evaluation: the un-consumed query conjuncts, in compiled cost
+   order, under whole-chain error absorption (Database.holds contract).
+   Conjuncts implied by the access path are skipped: an index hit proves
+   its own conjunct, and intersection with the queried extent proves every
+   pushed select predicate. *)
+let residual_conjuncts (compiled : Compile.compiled) consumed =
+  List.filter
+    (fun (c : Compile.conjunct) -> not (List.memq c consumed))
+    compiled.Compile.cp_conjuncts
+
+let residual_eval cs o =
+  match List.for_all (fun (c : Compile.conjunct) -> c.Compile.c_eval o) cs with
+  | b -> b
+  | exception (Expr.Unknown_property _ | Expr.Type_error _) -> false
 
 type explain = {
   ex_plan : plan;  (* the plan that actually ran *)
   chosen_index : string option;
   key_cardinality : int option;
+  conjunct_order : string list;
+  plan_cache_hit : bool;
+  pushdown_depth : int;
   rows_scanned : int;
   rows_returned : int;
 }
+
+let compiled_for db indexes cid pred =
+  Compile.get (Indexes.plan_cache indexes) db cid pred
+
+let plan db indexes cid pred =
+  let compiled, _ = compiled_for db indexes cid pred in
+  let access = choose_access db indexes cid compiled in
+  let residual =
+    match access with
+    | A_eq { a_consumed; _ } | A_range { a_consumed; _ } ->
+      residual_conjuncts compiled a_consumed <> []
+    | A_scan -> false
+  in
+  plan_of_access residual access
 
 (* One instrumented core: every select goes through here so the explain
    numbers and the registry counters describe the execution that really
@@ -76,35 +236,55 @@ type explain = {
 let select_explain db indexes cid pred =
   Metrics.incr m_selects;
   Trace.with_span "query.select" @@ fun () ->
+  let compiled, cache_hit = compiled_for db indexes cid pred in
   let scan () =
     let extent = Database.extent db cid in
-    let result =
-      Oid.Set.filter (fun o -> Database.holds db o pred) extent
-    in
-    (Extent_scan, Oid.Set.cardinal extent, result)
+    let result = Oid.Set.filter compiled.Compile.cp_pred extent in
+    (Extent_scan, None, None, 0, Oid.Set.cardinal extent, result)
   in
-  let ran, scanned, result =
-    match choose db indexes cid pred with
-    | Extent_scan, _ -> scan ()
-    | (Index_lookup _ as p), Some (attr, v, residual, has_residual) -> begin
-      match Indexes.lookup indexes cid attr v with
-      | None -> (* index dropped concurrently: scan *)
-        scan ()
-      | Some candidates ->
-        let result =
-          if has_residual then
-            Oid.Set.filter (fun o -> Database.holds db o residual) candidates
-          else candidates
-        in
-        (p, Oid.Set.cardinal candidates, result)
-    end
-    | Index_lookup _, None -> assert false
+  let probe access candidates =
+    match candidates with
+    | None -> (* index dropped concurrently: scan *) scan ()
+    | Some bucket ->
+      let cls, depth, attr, consumed =
+        match access with
+        | A_eq { a_cls; a_depth; a_attr; a_consumed; _ } ->
+          (a_cls, a_depth, a_attr, a_consumed)
+        | A_range { a_cls; a_depth; a_attr; a_consumed; _ } ->
+          (a_cls, a_depth, a_attr, a_consumed)
+        | A_scan -> assert false
+      in
+      if depth > 0 then Metrics.incr m_pushdowns;
+      (* an ancestor probe overshoots the queried extent; intersecting
+         back both restricts it and discharges every pushed predicate *)
+      let candidates =
+        if depth > 0 then Oid.Set.inter bucket (Database.extent db cid)
+        else bucket
+      in
+      let residual = residual_conjuncts compiled consumed in
+      let result =
+        if residual = [] then candidates
+        else Oid.Set.filter (residual_eval residual) candidates
+      in
+      ( plan_of_access (residual <> []) access,
+        Some attr,
+        Indexes.key_cardinality indexes cls attr,
+        depth,
+        Oid.Set.cardinal candidates,
+        result )
   in
-  let chosen_index =
-    match ran with Index_lookup { attr; _ } -> Some attr | Extent_scan -> None
+  let access = choose_access db indexes cid compiled in
+  let ran, chosen_index, key_cardinality, depth, scanned, result =
+    match access with
+    | A_scan -> scan ()
+    | A_eq { a_cls; a_attr; a_value; _ } ->
+      probe access (Indexes.lookup indexes a_cls a_attr a_value)
+    | A_range { a_cls; a_attr; a_lo; a_hi; _ } ->
+      probe access (Indexes.range_lookup indexes a_cls a_attr ~lo:a_lo ~hi:a_hi)
   in
   (match ran with
   | Index_lookup _ -> Metrics.incr m_index_lookups
+  | Range_scan _ -> Metrics.incr m_range_scans
   | Extent_scan -> Metrics.incr m_extent_scans);
   let returned = Oid.Set.cardinal result in
   Metrics.add m_rows_scanned scanned;
@@ -112,8 +292,13 @@ let select_explain db indexes cid pred =
   ( {
       ex_plan = ran;
       chosen_index;
-      key_cardinality =
-        Option.bind chosen_index (Indexes.key_cardinality indexes cid);
+      key_cardinality;
+      conjunct_order =
+        List.map
+          (fun (c : Compile.conjunct) -> c.Compile.c_text)
+          compiled.Compile.cp_conjuncts;
+      plan_cache_hit = cache_hit;
+      pushdown_depth = depth;
       rows_scanned = scanned;
       rows_returned = returned;
     },
@@ -122,18 +307,58 @@ let select_explain db indexes cid pred =
 let select db indexes cid pred = snd (select_explain db indexes cid pred)
 let explain db indexes cid pred = fst (select_explain db indexes cid pred)
 
-let count db indexes cid pred = Oid.Set.cardinal (select db indexes cid pred)
+(* Count without materializing a result set: fold the compiled evaluator
+   over the candidates (the full extent, or an index probe's bucket). *)
+let count db indexes cid pred =
+  let compiled, _ = compiled_for db indexes cid pred in
+  let fold_count pred set =
+    Oid.Set.fold (fun o n -> if pred o then n + 1 else n) set 0
+  in
+  let scan () =
+    let extent = Database.extent db cid in
+    Metrics.add m_rows_scanned (Oid.Set.cardinal extent);
+    fold_count compiled.Compile.cp_pred extent
+  in
+  let probe consumed depth = function
+    | None -> scan ()
+    | Some bucket ->
+      let candidates =
+        if depth > 0 then Oid.Set.inter bucket (Database.extent db cid)
+        else bucket
+      in
+      Metrics.add m_rows_scanned (Oid.Set.cardinal candidates);
+      let residual = residual_conjuncts compiled consumed in
+      if residual = [] then Oid.Set.cardinal candidates
+      else fold_count (residual_eval residual) candidates
+  in
+  match choose_access db indexes cid compiled with
+  | A_scan -> scan ()
+  | A_eq { a_cls; a_attr; a_value; a_depth; a_consumed; _ } ->
+    probe a_consumed a_depth (Indexes.lookup indexes a_cls a_attr a_value)
+  | A_range { a_cls; a_attr; a_lo; a_hi; a_depth; a_consumed; _ } ->
+    probe a_consumed a_depth
+      (Indexes.range_lookup indexes a_cls a_attr ~lo:a_lo ~hi:a_hi)
+
+let kind_name = function Hash -> "hash" | Range -> "range"
 
 let pp_plan ppf = function
-  | Index_lookup { attr; residual } ->
-    Format.fprintf ppf "index lookup on %s%s" attr
+  | Index_lookup { attr; kind; residual } ->
+    Format.fprintf ppf "index lookup (%s) on %s%s" (kind_name kind) attr
+      (if residual then " + residual filter" else "")
+  | Range_scan { attr; residual } ->
+    Format.fprintf ppf "range index scan on %s%s" attr
       (if residual then " + residual filter" else "")
   | Extent_scan -> Format.pp_print_string ppf "extent scan"
 
 let pp_explain ppf e =
-  Format.fprintf ppf "@[<v>plan: %a@ index: %s@ key cardinality: %s@ \
-                      rows scanned: %d@ rows returned: %d@]"
+  Format.fprintf ppf
+    "@[<v>plan: %a@ index: %s@ key cardinality: %s@ conjunct order: %s@ \
+     plan cache: %s@ pushdown depth: %d@ rows scanned: %d@ rows returned: %d@]"
     pp_plan e.ex_plan
     (Option.value e.chosen_index ~default:"-")
     (match e.key_cardinality with Some n -> string_of_int n | None -> "-")
-    e.rows_scanned e.rows_returned
+    (match e.conjunct_order with
+    | [] -> "-"
+    | cs -> String.concat "; " cs)
+    (if e.plan_cache_hit then "hit" else "miss")
+    e.pushdown_depth e.rows_scanned e.rows_returned

@@ -1,20 +1,30 @@
-(** A small query processor for extent selections.
+(** The query processor for extent selections.
 
     Evaluates [select from <class> where <predicate>] queries against a
-    database: equality conjuncts on indexed attributes are answered by
-    index lookup, the residual predicate is checked per candidate, and
-    everything else falls back to an extent scan. {!explain} exposes the
-    chosen plan for tests and tuning. *)
+    database through a compiled pipeline: the predicate is lowered once
+    per schema state (constant folding, cost-ordered conjuncts, compiled
+    closures — see {!Compile}) and cached; per execution the planner
+    extracts equality and range (sargable) conjuncts, considers indexes
+    on the class and on its Select ancestors (predicate pushdown through
+    the derivation DAG), and picks index probe vs. extent scan by
+    estimated candidate cardinality. {!explain} exposes the execution for
+    tests and tuning. *)
 
 type cid = Tse_schema.Klass.cid
 
+type index_kind = Hash | Range
+
 type plan =
-  | Index_lookup of { attr : string; residual : bool }
-      (** answered from the index on [attr]; [residual] when a remaining
-          predicate is checked per candidate *)
+  | Index_lookup of { attr : string; kind : index_kind; residual : bool }
+      (** answered by an equality probe of the index on [attr];
+          [residual] when remaining conjuncts are checked per candidate *)
+  | Range_scan of { attr : string; residual : bool }
+      (** answered by a key-interval walk of the ordered index on
+          [attr] *)
   | Extent_scan
 
 val plan : Tse_db.Database.t -> Indexes.t -> cid -> Tse_schema.Expr.t -> plan
+(** The plan the engine would choose right now (warms the plan cache). *)
 
 val select :
   Tse_db.Database.t ->
@@ -25,6 +35,8 @@ val select :
 (** Members of the class satisfying the predicate. *)
 
 val count : Tse_db.Database.t -> Indexes.t -> cid -> Tse_schema.Expr.t -> int
+(** Same planning as {!select}, but folds the compiled evaluator over the
+    candidates without materializing a result set. *)
 
 type explain = {
   ex_plan : plan;  (** the plan that actually ran (a concurrently dropped
@@ -32,9 +44,16 @@ type explain = {
   chosen_index : string option;  (** indexed attribute used, if any *)
   key_cardinality : int option;
       (** distinct keys in the chosen index at execution time *)
+  conjunct_order : string list;
+      (** the compiled conjuncts in evaluation (cost) order *)
+  plan_cache_hit : bool;
+      (** whether the compiled plan came from the cache *)
+  pushdown_depth : int;
+      (** how many Select derivation levels the chosen index probe was
+          pushed through (0 = an index on the queried class itself) *)
   rows_scanned : int;
-      (** objects examined: the extent for a scan, the key's candidate
-          bucket for an index lookup *)
+      (** objects examined: the extent for a scan, the candidate set for
+          an index probe *)
   rows_returned : int;
 }
 

@@ -1,23 +1,41 @@
 module Oid = Tse_store.Oid
 module Value = Tse_store.Value
 module Index = Tse_store.Index
+module Ord_index = Tse_store.Ord_index
 module Prop = Tse_schema.Prop
 module Type_info = Tse_schema.Type_info
 module Database = Tse_db.Database
 
 type cid = Tse_schema.Klass.cid
+type kind = Hash | Ordered
+
+type backing = B_hash of Index.t | B_ord of Ord_index.t
 
 type entry = {
   e_cid : cid;
   e_attr : string;
-  index : Index.t;
+  backing : backing;
   (* last indexed value per object, so updates can unindex the old one *)
   current : Value.t Oid.Tbl.t;
 }
 
-type t = { db : Database.t; mutable entries : entry list }
+type t = {
+  db : Database.t;
+  mutable entries : entry list;
+  plans : Compile.cache;
+}
 
 let key_matches e cid attr = Oid.equal e.e_cid cid && String.equal e.e_attr attr
+
+let backing_add e v o =
+  match e.backing with
+  | B_hash i -> Index.add i v o
+  | B_ord i -> Ord_index.add i v o
+
+let backing_remove e v o =
+  match e.backing with
+  | B_hash i -> Index.remove i v o
+  | B_ord i -> Ord_index.remove i v o
 
 (* (Re)index one object in one entry according to its current state. *)
 let refresh_object e db o =
@@ -37,12 +55,12 @@ let refresh_object e db o =
     match now with
     | Some v' when Value.equal v v' -> ()
     | _ ->
-      Index.remove e.index v o;
+      backing_remove e v o;
       Oid.Tbl.remove e.current o)
   | None -> ());
   match now with
   | Some v when Oid.Tbl.find_opt e.current o = None ->
-    Index.add e.index v o;
+    backing_add e v o;
     Oid.Tbl.replace e.current o v
   | Some _ | None -> ()
 
@@ -67,11 +85,13 @@ let on_event t event =
     ()
 
 let create db =
-  let t = { db; entries = [] } in
+  let t = { db; entries = []; plans = Compile.create_cache () } in
   Database.add_listener db (fun ev -> on_event t ev);
   t
 
-let ensure t cid attr =
+let plan_cache t = t.plans
+
+let ensure ?(kind = Hash) t cid attr =
   let graph = Database.graph t.db in
   (match Type_info.find_usable graph cid attr with
   | Some p when Prop.is_stored p -> ()
@@ -81,30 +101,66 @@ let ensure t cid attr =
     invalid_arg
       (Printf.sprintf "Indexes.ensure: %s undefined for the class" attr));
   t.entries <- List.filter (fun e -> not (key_matches e cid attr)) t.entries;
-  let e =
-    { e_cid = cid; e_attr = attr; index = Index.create (); current = Oid.Tbl.create 64 }
+  let backing =
+    match kind with
+    | Hash -> B_hash (Index.create ())
+    | Ordered -> B_ord (Ord_index.create ())
   in
+  let e = { e_cid = cid; e_attr = attr; backing; current = Oid.Tbl.create 64 } in
   Oid.Set.iter (fun o -> refresh_object e t.db o) (Database.extent t.db cid);
   t.entries <- e :: t.entries
 
 let drop t cid attr =
   t.entries <- List.filter (fun e -> not (key_matches e cid attr)) t.entries
 
-let lookup t cid attr v =
-  List.find_map
-    (fun e -> if key_matches e cid attr then Some (Index.lookup e.index v) else None)
-    t.entries
+let find t cid attr =
+  List.find_opt (fun e -> key_matches e cid attr) t.entries
 
-let indexed t cid attr = List.exists (fun e -> key_matches e cid attr) t.entries
+let lookup t cid attr v =
+  Option.map
+    (fun e ->
+      match e.backing with
+      | B_hash i -> Index.lookup i v
+      | B_ord i -> Ord_index.lookup i v)
+    (find t cid attr)
+
+let range_lookup t cid attr ~lo ~hi =
+  Option.bind (find t cid attr) (fun e ->
+      match e.backing with
+      | B_ord i -> Some (Ord_index.range i ~lo ~hi)
+      | B_hash _ -> None)
+
+let indexed t cid attr = find t cid attr <> None
+
+let kind_of t cid attr =
+  Option.map
+    (fun e -> match e.backing with B_hash _ -> Hash | B_ord _ -> Ordered)
+    (find t cid attr)
 
 let key_cardinality t cid attr =
-  List.find_map
+  Option.map
     (fun e ->
-      if key_matches e cid attr then Some (Index.distinct_keys e.index)
-      else None)
-    t.entries
+      match e.backing with
+      | B_hash i -> Index.distinct_keys i
+      | B_ord i -> Ord_index.distinct_keys i)
+    (find t cid attr)
+
+let entry_count t cid attr =
+  Option.map
+    (fun e ->
+      match e.backing with
+      | B_hash i -> Index.cardinal i
+      | B_ord i -> Ord_index.cardinal i)
+    (find t cid attr)
 
 let overhead_bytes t =
-  List.fold_left (fun acc e -> acc + Index.overhead_bytes e.index) 0 t.entries
+  List.fold_left
+    (fun acc e ->
+      acc
+      +
+      match e.backing with
+      | B_hash i -> Index.overhead_bytes i
+      | B_ord i -> Ord_index.overhead_bytes i)
+    0 t.entries
 
 let index_count t = List.length t.entries

@@ -4,18 +4,29 @@
     on [(class, attribute)] maps attribute values to the members of the
     class holding them, and is kept current by listening to the database's
     change events (attribute writes, object creation/destruction and
-    reclassification). Section 4.2 counts such structures among the
-    managerial storage; {!overhead_bytes} reports it. *)
+    reclassification). Two backings share that maintenance contract:
+    [Hash] answers equality probes, [Ordered] additionally answers range
+    lookups. Section 4.2 counts such structures among the managerial
+    storage; {!overhead_bytes} reports it.
+
+    The structure also hosts the query engine's plan cache
+    ({!plan_cache}), so one value carries everything a session's query
+    pipeline needs. *)
 
 type cid = Tse_schema.Klass.cid
+
+type kind = Hash | Ordered
+
 type t
 
 val create : Tse_db.Database.t -> t
 (** Registers the maintenance listener on the database. *)
 
-val ensure : t -> cid -> string -> unit
+val ensure : ?kind:kind -> t -> cid -> string -> unit
 (** Build (or rebuild) the index on the class's attribute from the
-    current extent, and maintain it from now on.
+    current extent, and maintain it from now on. [kind] defaults to
+    [Hash]; at most one index exists per [(class, attr)] — re-ensuring
+    with a different kind rebuilds.
     @raise Invalid_argument if the attribute is not a usable stored
     attribute of the class. *)
 
@@ -23,9 +34,21 @@ val drop : t -> cid -> string -> unit
 
 val lookup : t -> cid -> string -> Tse_store.Value.t -> Tse_store.Oid.Set.t option
 (** [Some members] when an index exists on [(class, attr)] — already
-    restricted to the class's extent; [None] when no index exists. *)
+    restricted to the class's extent; [None] when no index exists.
+    Equality probes are answered by either backing. *)
+
+val range_lookup :
+  t ->
+  cid ->
+  string ->
+  lo:Tse_store.Ord_index.bound option ->
+  hi:Tse_store.Ord_index.bound option ->
+  Tse_store.Oid.Set.t option
+(** [Some members] in the key interval when an [Ordered] index exists on
+    [(class, attr)]; [None] when there is no index or it is [Hash]. *)
 
 val indexed : t -> cid -> string -> bool
+val kind_of : t -> cid -> string -> kind option
 
 val key_cardinality : t -> cid -> string -> int option
 (** [Some n] when an index exists on [(class, attr)]: the number of
@@ -33,5 +56,13 @@ val key_cardinality : t -> cid -> string -> int option
     buckets for the same extent, so the planner prefers the equality
     conjunct whose index has the highest key cardinality. *)
 
+val entry_count : t -> cid -> string -> int option
+(** Number of (value, oid) entries — the indexed population, used with
+    {!key_cardinality} to estimate bucket sizes. *)
+
 val overhead_bytes : t -> int
 val index_count : t -> int
+
+val plan_cache : t -> Compile.cache
+(** The plan cache the query engine consults for this index set's
+    database. *)

@@ -39,6 +39,18 @@ val eval : env -> t -> Tse_store.Value.t
 (** @raise Unknown_property if the expression reads an undefined property.
     @raise Type_error on ill-typed operations (e.g. [1 + "a"]). *)
 
+(** {2 Evaluation primitives}
+
+    Exposed so {!Expr_compile} can reuse the exact operator semantics;
+    compiled closures must agree with {!eval} node for node. *)
+
+val as_bool : Tse_store.Value.t -> bool
+(** [Null] coerces to [false]; non-bool raises {!Type_error}. *)
+
+val cmp_result : cmp -> int -> bool
+val eval_cmp : cmp -> Tse_store.Value.t -> Tse_store.Value.t -> Tse_store.Value.t
+val eval_arith : arith -> Tse_store.Value.t -> Tse_store.Value.t -> Tse_store.Value.t
+
 val eval_bool : env -> t -> bool
 (** Evaluate as a predicate. [Null] is treated as [false].
     @raise Type_error if the result is a non-boolean, non-null value. *)

@@ -26,8 +26,15 @@ type op =
 
 type undo = unit -> unit
 
+(* OIDs are dense sequential ints (Oid.Gen), so the cell store is a
+   growable array indexed by OID rather than a hash table: a lookup is
+   one bounds check and one load, and extent scans in ascending OID
+   order walk the array (and the cells, allocated in creation order)
+   near-sequentially — the difference between cache-resident and
+   miss-bound million-object scans. *)
 type t = {
-  cells : cell Oid.Tbl.t;
+  mutable cells : cell option array;
+  mutable live : int;
   gen : Oid.Gen.t;
   mutable journals : undo list ref list;
   mutable logger : (op -> unit) option;
@@ -37,8 +44,30 @@ let fp_rollback = "txn.rollback"
 let () = Failpoint.declare fp_rollback
 
 let create () =
-  { cells = Oid.Tbl.create 256; gen = Oid.Gen.create (); journals = [];
-    logger = None }
+  { cells = Array.make 256 None; live = 0; gen = Oid.Gen.create ();
+    journals = []; logger = None }
+
+let cell_opt t oid =
+  let i = Oid.to_int oid in
+  if i < 0 || i >= Array.length t.cells then None
+  else Array.unsafe_get t.cells i
+
+let put_cell t oid cell =
+  let i = Oid.to_int oid in
+  let n = Array.length t.cells in
+  if i >= n then begin
+    let grown = Array.make (Stdlib.max (2 * n) (i + 1)) None in
+    Array.blit t.cells 0 grown 0 n;
+    t.cells <- grown
+  end;
+  if t.cells.(i) = None then t.live <- t.live + 1;
+  t.cells.(i) <- Some cell
+
+let drop_cell t oid =
+  if cell_opt t oid <> None then begin
+    t.cells.(Oid.to_int oid) <- None;
+    t.live <- t.live - 1
+  end
 
 let gen t = t.gen
 let set_logger t logger = t.logger <- logger
@@ -52,42 +81,42 @@ let record t undo =
 
 let alloc t ~tag =
   let oid = Oid.Gen.fresh t.gen in
-  Oid.Tbl.replace t.cells oid { oid; tag; slots = Hashtbl.create 4 };
+  put_cell t oid { oid; tag; slots = Hashtbl.create 4 };
   Metrics.incr m_allocs;
   log t (Alloc (oid, tag));
   record t (fun () ->
-      Oid.Tbl.remove t.cells oid;
+      drop_cell t oid;
       log t (Free oid));
   oid
 
 let alloc_raw t ~oid ~tag =
-  if Oid.Tbl.mem t.cells oid then invalid_arg "Heap.alloc_raw: oid in use";
+  if cell_opt t oid <> None then invalid_arg "Heap.alloc_raw: oid in use";
   Oid.Gen.mark_used t.gen oid;
-  Oid.Tbl.replace t.cells oid { oid; tag; slots = Hashtbl.create 4 };
+  put_cell t oid { oid; tag; slots = Hashtbl.create 4 };
   Metrics.incr m_allocs;
   log t (Alloc (oid, tag));
   record t (fun () ->
-      Oid.Tbl.remove t.cells oid;
+      drop_cell t oid;
       log t (Free oid));
   oid
 
 let free t oid =
-  match Oid.Tbl.find_opt t.cells oid with
+  match cell_opt t oid with
   | None -> ()
   | Some cell ->
-    Oid.Tbl.remove t.cells oid;
+    drop_cell t oid;
     Metrics.incr m_frees;
     log t (Free oid);
     record t (fun () ->
-        Oid.Tbl.replace t.cells oid cell;
+        put_cell t oid cell;
         log t (Alloc (oid, cell.tag));
         Hashtbl.iter (fun k v -> log t (Set_slot (oid, k, v))) cell.slots)
 
-let mem t oid = Oid.Tbl.mem t.cells oid
-let find t oid = Oid.Tbl.find_opt t.cells oid
+let mem t oid = cell_opt t oid <> None
+let find t oid = cell_opt t oid
 
 let find_exn t oid =
-  match Oid.Tbl.find_opt t.cells oid with
+  match cell_opt t oid with
   | Some c -> c
   | None -> raise Not_found
 
@@ -107,6 +136,20 @@ let get_slot t oid name =
   match Hashtbl.find_opt (find_exn t oid).slots name with
   | Some v -> v
   | None -> Value.Null
+
+(* Compiled-query fast path: one closure per (heap, slot name) reading
+   straight out of the cell array (re-read through [t] each call — the
+   array is replaced on growth), so per-object cost is one array load
+   plus the slot probe. Semantics match [get_slot]. *)
+let slot_reader t name =
+  fun oid ->
+    Metrics.incr m_reads;
+    match cell_opt t oid with
+    | None -> raise Not_found
+    | Some cell -> (
+      match Hashtbl.find_opt cell.slots name with
+      | Some v -> v
+      | None -> Value.Null)
 
 let set_slot t oid name v =
   let cell = find_exn t oid in
@@ -171,9 +214,16 @@ let swap_identity t a b =
       (* swapping is an involution, so the compensation is the same op *)
       log t (Swap (a, b)))
 
-let iter t f = Oid.Tbl.iter (fun _ c -> f c) t.cells
-let fold t ~init ~f = Oid.Tbl.fold (fun _ c acc -> f acc c) t.cells init
-let cell_count t = Oid.Tbl.length t.cells
+(* Ascending-OID order (a strengthening of the old arbitrary hash
+   order). *)
+let iter t f =
+  Array.iter (function Some c -> f c | None -> ()) t.cells
+
+let fold t ~init ~f =
+  Array.fold_left (fun acc -> function Some c -> f acc c | None -> acc)
+    init t.cells
+
+let cell_count t = t.live
 
 let data_bytes t =
   fold t ~init:0 ~f:(fun acc c ->

@@ -68,6 +68,12 @@ val set_tag : t -> Oid.t -> string -> unit
 val get_slot : t -> Oid.t -> string -> Value.t
 (** Missing slots read as [Value.Null]. *)
 
+val slot_reader : t -> string -> Oid.t -> Value.t
+(** [slot_reader t name] specializes {!get_slot} to [name]: the returned
+    closure captures the cell table once, for compiled-predicate read
+    loops. Missing slots read as [Value.Null].
+    @raise Not_found if the OID is not allocated. *)
+
 val set_slot : t -> Oid.t -> string -> Value.t -> unit
 val remove_slot : t -> Oid.t -> string -> unit
 val slot_names : t -> Oid.t -> string list

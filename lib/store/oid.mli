@@ -52,3 +52,28 @@ end
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
 module Tbl : Hashtbl.S with type key = t
+
+(** Growable array keyed directly by the (dense, sequential) OID: one
+    bounds check and one load per probe, no hashing, and ascending-OID
+    iteration walks memory sequentially. The mutable-table subset of the
+    {!Tbl} interface, for structures on scan-hot paths. *)
+module Dense : sig
+  type oid := t
+  type 'a t
+
+  val create : int -> 'a t
+  (** Initial capacity hint, as with [Hashtbl.create]. *)
+
+  val find_opt : 'a t -> oid -> 'a option
+  val mem : 'a t -> oid -> bool
+  val replace : 'a t -> oid -> 'a -> unit
+  val remove : 'a t -> oid -> unit
+
+  val iter : (oid -> 'a -> unit) -> 'a t -> unit
+  (** Ascending OID order. *)
+
+  val fold : (oid -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  (** Ascending OID order. *)
+
+  val length : 'a t -> int
+end
