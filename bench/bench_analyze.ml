@@ -97,6 +97,9 @@ let json_of rows ~smoke ~gate_changes ~off_ns ~enforce_ns =
   Buffer.add_string b "{\n";
   Printf.bprintf b "  \"benchmark\": \"analyze\",\n";
   Printf.bprintf b "  \"smoke\": %b,\n" smoke;
+  Printf.bprintf b "  \"domains\": %d,\n"
+    (Tse_pool.Pool.size (Tse_pool.Pool.global ()));
+  Printf.bprintf b "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   Buffer.add_string b "  \"schemas\": [\n";
   List.iteri
     (fun i r ->
@@ -122,7 +125,7 @@ let json_of rows ~smoke ~gate_changes ~off_ns ~enforce_ns =
   Printf.bprintf b "    \"gate_rejections\": %d,\n"
     (Metrics.find_counter "analysis.gate_rejections");
   Printf.bprintf b "    \"registry\": %s\n"
-    (Metrics.to_json (Metrics.snapshot ()));
+    (Metrics.to_json (Metrics.nonzero (Metrics.snapshot ())));
   Buffer.add_string b "  }\n}\n";
   Buffer.contents b
 

@@ -111,6 +111,9 @@ let json_of rows ~smoke ~objects ~commits ~base =
   Printf.bprintf b "  \"smoke\": %b,\n" smoke;
   Printf.bprintf b "  \"objects\": %d,\n" objects;
   Printf.bprintf b "  \"commits\": %d,\n" commits;
+  Printf.bprintf b "  \"domains\": %d,\n"
+    (Tse_pool.Pool.size (Tse_pool.Pool.global ()));
+  Printf.bprintf b "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   (* registry totals for the whole run (all policies, best-of-3 each),
      plus the headline ratio CI tooling reads without summing rows *)
   let g8 = List.find_opt (fun r -> r.label = "group:8") rows in
@@ -127,7 +130,7 @@ let json_of rows ~smoke ~objects ~commits ~base =
   Printf.bprintf b "    \"durable_commits_total\": %d,\n"
     (Metrics.find_counter "durable.commits");
   Printf.bprintf b "    \"registry\": %s\n"
-    (Metrics.to_json (Metrics.snapshot ()));
+    (Metrics.to_json (Metrics.nonzero (Metrics.snapshot ())));
   Printf.bprintf b "  },\n";
   Buffer.add_string b "  \"policies\": [\n";
   List.iteri

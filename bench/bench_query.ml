@@ -10,6 +10,7 @@ open Tse_db
 module Metrics = Tse_obs.Metrics
 module Engine = Tse_query.Engine
 module Indexes = Tse_query.Indexes
+module Pool = Tse_pool.Pool
 
 let score_mod = 100_000
 
@@ -48,12 +49,24 @@ let time_ns f =
   done;
   !best *. 1e9
 
-let json_of ~smoke ~objects ~rows fields =
+let json_of ~smoke ~objects ~rows ~scaling fields =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Printf.bprintf b "  \"benchmark\": \"query\",\n";
   Printf.bprintf b "  \"smoke\": %b,\n" smoke;
   Printf.bprintf b "  \"objects\": %d,\n" objects;
+  Printf.bprintf b "  \"domains\": %d,\n" (Pool.size (Pool.global ()));
+  Printf.bprintf b "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.bprintf b "  \"parallel_scaling\": [\n";
+  List.iteri
+    (fun i (d, ns, sp) ->
+      Printf.bprintf b
+        "    {\"domains\": %d, \"compiled_scan_ns\": %.0f, \"speedup\": \
+         %.2f}%s\n"
+        d ns sp
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  Printf.bprintf b "  ],\n";
   Printf.bprintf b "  \"results\": {\n";
   List.iteri
     (fun i (k, v) ->
@@ -77,7 +90,7 @@ let json_of ~smoke ~objects ~rows fields =
   Printf.bprintf b "    \"rows_returned_total\": %d,\n"
     (Metrics.find_counter "query.rows_returned");
   Printf.bprintf b "    \"registry\": %s\n"
-    (Metrics.to_json (Metrics.snapshot ()));
+    (Metrics.to_json (Metrics.nonzero (Metrics.snapshot ())));
   Printf.bprintf b "  }\n}\n";
   Buffer.contents b
 
@@ -145,6 +158,34 @@ let run ~smoke () =
   let hash_index_ns = time_ns (engine indexes scan_pred) in
   let range_index_ns = time_ns (engine indexes sel_pred) in
 
+  (* Parallel scaling sweep: the same compiled extent scan at 1/2/4/8
+     domains, resizing the global pool between runs.  d=1 is the exact
+     sequential path (the pool spawns nothing), so the curve's baseline
+     IS the compiled_scan_ns measured above, re-timed.  Every run is
+     checked against the sequential row count before its timing is
+     trusted. *)
+  let host_cores = Domain.recommended_domain_count () in
+  let scaling =
+    List.map
+      (fun d ->
+        Pool.set_global_size d;
+        let rows = Oid.Set.cardinal (Engine.select db no_idx item scan_pred) in
+        if rows <> scan_rows then begin
+          Printf.printf "FAIL: parallel scan at %d domains returned %d rows, \
+                         sequential returned %d\n"
+            d rows scan_rows;
+          exit 1
+        end;
+        (d, time_ns (engine no_idx scan_pred)))
+      [ 1; 2; 4; 8 ]
+  in
+  Pool.set_global_size (Pool.default_domains ());
+  let ns_at d = List.assoc d scaling in
+  let scaling =
+    List.map (fun (d, ns) -> (d, ns, ns_at 1 /. ns)) scaling
+  in
+  let par_speedup_4 = ns_at 1 /. ns_at 4 in
+
   let per_row ns = ns /. float_of_int objects in
   let speedup = interpreted_scan_ns /. compiled_scan_ns in
   Printf.printf
@@ -160,10 +201,17 @@ let run ~smoke () =
      index %10.0f ns  (%d candidates, %d rows)\n"
     interpreted_sel_ns compiled_sel_ns range_index_ns
     range_ex.Engine.rows_scanned range_ex.Engine.rows_returned;
+  Printf.printf "  parallel scan scaling (host has %d cores):\n" host_cores;
+  List.iter
+    (fun (d, ns, sp) ->
+      Printf.printf "    %d domain%s : %10.0f ns  (%5.2fx)\n" d
+        (if d = 1 then " " else "s")
+        ns sp)
+    scaling;
 
   let f v = Printf.sprintf "%.0f" v in
   let json =
-    json_of ~smoke ~objects
+    json_of ~smoke ~objects ~scaling
       ~rows:
         [
           ("scan_pred", scan_rows);
@@ -183,6 +231,9 @@ let run ~smoke () =
           Printf.sprintf "%.2f" (interpreted_sel_ns /. range_index_ns) );
         ( "range_speedup_vs_compiled",
           Printf.sprintf "%.2f" (compiled_sel_ns /. range_index_ns) );
+        ("parallel_scan_speedup_4", Printf.sprintf "%.2f" par_speedup_4);
+        ( "parallel_scan_speedup_8",
+          Printf.sprintf "%.2f" (ns_at 1 /. ns_at 8) );
       ]
   in
   let oc = open_out "BENCH_query.json" in
@@ -203,5 +254,15 @@ let run ~smoke () =
   end;
   if smoke && speedup < 1.0 then begin
     Printf.printf "FAIL: compiled scan slower than interpreted\n";
+    exit 1
+  end;
+  (* The multicore floor is only meaningful when the host can actually
+     run 4 domains in parallel; on smaller machines the honest numbers
+     are still recorded (with host_cores) and the floor is waived. *)
+  if (not smoke) && host_cores >= 4 && par_speedup_4 < 2.5 then begin
+    Printf.printf
+      "FAIL: parallel compiled scan below 2.5x at 4 domains on a %d-core \
+       host\n"
+      host_cores;
     exit 1
   end

@@ -265,9 +265,16 @@ let cmd_lint s rest =
 
 let cmd_stats rest =
   let samples = Tse_obs.Metrics.snapshot () in
+  let domains = Tse_pool.Pool.size (Tse_pool.Pool.global ()) in
+  let host_cores = Domain.recommended_domain_count () in
   match words rest with
-  | [] | [ "text" ] -> Format.printf "%a" Tse_obs.Metrics.pp_text samples
-  | [ "json" ] -> print_endline (Tse_obs.Metrics.to_json samples)
+  | [] | [ "text" ] ->
+    Printf.printf "# domains %d of %d host cores\n" domains host_cores;
+    Format.printf "%a" Tse_obs.Metrics.pp_text samples
+  | [ "json" ] ->
+    Printf.printf "{\"domains\": %d, \"host_cores\": %d, \"registry\": %s}\n"
+      domains host_cores
+      (Tse_obs.Metrics.to_json samples)
   | _ -> failwith "usage: stats [json]"
 
 let cmd_index s rest =

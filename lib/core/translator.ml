@@ -71,7 +71,9 @@ let refresh_members ctx =
       (fun acc (old_cid, _) -> Oid.Set.union acc (Database.extent ctx.db old_cid))
       Oid.Set.empty !(ctx.mapping)
   in
-  Oid.Set.iter (fun o -> Database.reclassify ctx.db o) objs
+  (* bulk entry point: fans out across the domain pool above the
+     parallel threshold, and is exactly this Set.iter below it *)
+  Database.reclassify_many ctx.db (Oid.Set.elements objs)
 
 (* The replacement view: every mapped class substituted (keeping its
    view-local name — the renaming step of Section 6.1.3). *)

@@ -1,10 +1,35 @@
-type counter = { c_name : string; c_labels : (string * string) list; mutable c_value : int }
+(* Domain-safe metrics.
 
-type gauge = { g_name : string; g_labels : (string * string) list; mutable g_value : float }
+   Counters are striped over a small array of [Atomic.t] cells indexed by
+   the calling domain's id: increments from different domains usually hit
+   different cells (no contended cache line on parallel scan hot paths)
+   and every increment is an atomic RMW, so no update is ever lost —
+   [counter_value] folds the stripes. Gauges are a single atomic cell
+   (set/add are rare). Histograms take a per-histogram mutex: observations
+   happen at batch granularity (group sizes, latencies), never per object.
+   The registry itself is guarded by one mutex; handle registration
+   happens at module-init time, snapshot/reset at reporting time. *)
+
+let stripes = 8
+
+let domain_slot () = (Domain.self () :> int) land (stripes - 1)
+
+type counter = {
+  c_name : string;
+  c_labels : (string * string) list;
+  c_cells : int Atomic.t array;
+}
+
+type gauge = {
+  g_name : string;
+  g_labels : (string * string) list;
+  g_value : float Atomic.t;
+}
 
 type histogram = {
   hg_name : string;
   hg_labels : (string * string) list;
+  hg_mu : Mutex.t;
   hg_bounds : float array;  (* ascending upper bounds *)
   hg_counts : int array;  (* per-bucket (non-cumulative), length bounds+1; last = +inf *)
   mutable hg_sum : float;
@@ -17,6 +42,12 @@ type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
 let registry : (string * (string * string) list, metric) Hashtbl.t =
   Hashtbl.create 64
 
+let reg_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mu) f
+
 let canon labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
 
@@ -26,6 +57,7 @@ let kind_name = function
   | M_histogram _ -> "histogram"
 
 let register name labels make describe =
+  locked @@ fun () ->
   let key = (name, canon labels) in
   match Hashtbl.find_opt registry key with
   | Some m -> m
@@ -46,7 +78,13 @@ let register name labels make describe =
 let counter ?(labels = []) name =
   match
     register name labels
-      (fun labels -> M_counter { c_name = name; c_labels = labels; c_value = 0 })
+      (fun labels ->
+        M_counter
+          {
+            c_name = name;
+            c_labels = labels;
+            c_cells = Array.init stripes (fun _ -> Atomic.make 0);
+          })
       "counter"
   with
   | M_counter c -> c
@@ -54,22 +92,31 @@ let counter ?(labels = []) name =
     invalid_arg
       (Printf.sprintf "Metrics.counter: %s is a %s" name (kind_name m))
 
-let incr c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c = Atomic.incr (Array.unsafe_get c.c_cells (domain_slot ()))
+
+let add c n =
+  ignore (Atomic.fetch_and_add (Array.unsafe_get c.c_cells (domain_slot ())) n)
+
+let counter_value c =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cells
 
 let gauge ?(labels = []) name =
   match
     register name labels
-      (fun labels -> M_gauge { g_name = name; g_labels = labels; g_value = 0. })
+      (fun labels ->
+        M_gauge { g_name = name; g_labels = labels; g_value = Atomic.make 0. })
       "gauge"
   with
   | M_gauge g -> g
   | m -> invalid_arg (Printf.sprintf "Metrics.gauge: %s is a %s" name (kind_name m))
 
-let set_gauge g v = g.g_value <- v
-let add_gauge g v = g.g_value <- g.g_value +. v
-let gauge_value g = g.g_value
+let set_gauge g v = Atomic.set g.g_value v
+
+let rec add_gauge g v =
+  let cur = Atomic.get g.g_value in
+  if not (Atomic.compare_and_set g.g_value cur (cur +. v)) then add_gauge g v
+
+let gauge_value g = Atomic.get g.g_value
 
 let default_buckets = [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048.; 4096. ]
 
@@ -82,6 +129,7 @@ let histogram ?(labels = []) ?(buckets = default_buckets) name =
           {
             hg_name = name;
             hg_labels = labels;
+            hg_mu = Mutex.create ();
             hg_bounds = bounds;
             hg_counts = Array.make (Array.length bounds + 1) 0;
             hg_sum = 0.;
@@ -98,9 +146,11 @@ let observe h v =
   let n = Array.length h.hg_bounds in
   let rec bucket i = if i >= n then n else if v <= h.hg_bounds.(i) then i else bucket (i + 1) in
   let i = bucket 0 in
+  Mutex.lock h.hg_mu;
   h.hg_counts.(i) <- h.hg_counts.(i) + 1;
   h.hg_sum <- h.hg_sum +. v;
-  h.hg_count <- h.hg_count + 1
+  h.hg_count <- h.hg_count + 1;
+  Mutex.unlock h.hg_mu
 
 type hist_snapshot = {
   h_buckets : (float * int) list;
@@ -119,61 +169,82 @@ type sample = {
 
 let snapshot_hist h =
   (* Cumulative counts per bound, Prometheus-style. *)
+  Mutex.lock h.hg_mu;
+  let counts = Array.copy h.hg_counts in
+  let count = h.hg_count and sum = h.hg_sum in
+  Mutex.unlock h.hg_mu;
   let acc = ref 0 in
   let buckets =
     Array.to_list
       (Array.mapi
          (fun i b ->
-           acc := !acc + h.hg_counts.(i);
+           acc := !acc + counts.(i);
            (b, !acc))
          h.hg_bounds)
   in
   {
     h_buckets = buckets;
-    h_inf = h.hg_counts.(Array.length h.hg_bounds);
-    h_count = h.hg_count;
-    h_sum = h.hg_sum;
+    h_inf = counts.(Array.length h.hg_bounds);
+    h_count = count;
+    h_sum = sum;
   }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun _ m acc ->
-      let s =
-        match m with
-        | M_counter c ->
-          { s_name = c.c_name; s_labels = c.c_labels; s_value = Counter c.c_value }
-        | M_gauge g ->
-          { s_name = g.g_name; s_labels = g.g_labels; s_value = Gauge g.g_value }
-        | M_histogram h ->
-          {
-            s_name = h.hg_name;
-            s_labels = h.hg_labels;
-            s_value = Histogram (snapshot_hist h);
-          }
-      in
-      s :: acc)
-    registry []
+  locked (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  |> List.map (fun m ->
+         match m with
+         | M_counter c ->
+           {
+             s_name = c.c_name;
+             s_labels = c.c_labels;
+             s_value = Counter (counter_value c);
+           }
+         | M_gauge g ->
+           {
+             s_name = g.g_name;
+             s_labels = g.g_labels;
+             s_value = Gauge (Atomic.get g.g_value);
+           }
+         | M_histogram h ->
+           {
+             s_name = h.hg_name;
+             s_labels = h.hg_labels;
+             s_value = Histogram (snapshot_hist h);
+           })
   |> List.sort (fun a b ->
          match String.compare a.s_name b.s_name with
          | 0 -> compare a.s_labels b.s_labels
          | c -> c)
 
 let find_counter ?(labels = []) name =
-  match Hashtbl.find_opt registry (name, canon labels) with
-  | Some (M_counter c) -> c.c_value
+  match locked (fun () -> Hashtbl.find_opt registry (name, canon labels)) with
+  | Some (M_counter c) -> counter_value c
   | _ -> 0
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | M_counter c -> c.c_value <- 0
-      | M_gauge g -> g.g_value <- 0.
+      | M_counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.c_cells
+      | M_gauge g -> Atomic.set g.g_value 0.
       | M_histogram h ->
+        Mutex.lock h.hg_mu;
         Array.fill h.hg_counts 0 (Array.length h.hg_counts) 0;
         h.hg_sum <- 0.;
-        h.hg_count <- 0)
+        h.hg_count <- 0;
+        Mutex.unlock h.hg_mu)
     registry
+
+let nonzero samples =
+  List.filter
+    (fun s ->
+      match s.s_value with
+      | Counter 0 -> false
+      | Gauge v -> v <> 0.
+      | Histogram h -> h.h_count > 0
+      | Counter _ -> true)
+    samples
 
 (* ---- rendering ------------------------------------------------------ *)
 

@@ -2,10 +2,13 @@
 
     Zero-dependency counters, gauges and histograms, registered once by
     name (plus optional labels) and mutated through pre-resolved handles
-    so hot paths pay a single field update — no hashtable lookup, no
-    allocation.  The registry is global: every subsystem contributes to
-    one namespace ("wal.fsyncs", "reclass.verdict_memo_hits", ...) and a
-    snapshot can be rendered as JSON or human-readable text. *)
+    so hot paths pay a single atomic update — no hashtable lookup, no
+    allocation.  Every handle is domain-safe: counters are striped over
+    per-domain atomic cells (summed at read), gauges are a single atomic
+    cell, histograms and the registry itself are mutex-guarded.  The
+    registry is global: every subsystem contributes to one namespace
+    ("wal.fsyncs", "reclass.verdict_memo_hits", ...) and a snapshot can
+    be rendered as JSON or human-readable text. *)
 
 type counter
 (** Monotonically increasing integer. *)
@@ -65,6 +68,11 @@ val find_counter : ?labels:(string * string) list -> string -> int
 val reset : unit -> unit
 (** Zero every registered metric (registration survives).  Used by the
     benchmarks to scope the registry to a single run. *)
+
+val nonzero : sample list -> sample list
+(** Drop samples whose value is identically zero (counter 0, gauge 0.,
+    empty histogram).  Used by the benchmarks to keep the embedded
+    registry section down to metrics that actually fired. *)
 
 val to_json : sample list -> string
 (** One JSON object; histogram values become nested objects. *)

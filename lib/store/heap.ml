@@ -223,6 +223,18 @@ let fold t ~init ~f =
   Array.fold_left (fun acc -> function Some c -> f acc c | None -> acc)
     init t.cells
 
+let capacity t = Array.length t.cells
+
+let fold_range t ~lo ~hi ~init ~f =
+  let hi = min hi (Array.length t.cells) in
+  let acc = ref init in
+  for i = max lo 0 to hi - 1 do
+    match Array.unsafe_get t.cells i with
+    | Some c -> acc := f !acc c
+    | None -> ()
+  done;
+  !acc
+
 let cell_count t = t.live
 
 let data_bytes t =

@@ -90,6 +90,16 @@ val swap_identity : t -> Oid.t -> Oid.t -> unit
 
 val iter : t -> (cell -> unit) -> unit
 val fold : t -> init:'a -> f:('a -> cell -> 'a) -> 'a
+
+val capacity : t -> int
+(** One past the largest OID currently representable without growing
+    the cell array; [fold] over the whole heap equals [fold_range]
+    over [\[0, capacity)].  Shard bound for parallel range walks. *)
+
+val fold_range : t -> lo:int -> hi:int -> init:'a -> f:('a -> cell -> 'a) -> 'a
+(** [fold] restricted to cells with [lo <= oid < hi] (clamped),
+    ascending OID order within the range. *)
+
 val cell_count : t -> int
 
 val data_bytes : t -> int

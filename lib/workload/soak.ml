@@ -539,6 +539,12 @@ let to_json cfg (o : outcome) =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"bench\": \"scenarios\",\n";
   Buffer.add_string buf
+    (Printf.sprintf "  \"domains\": %d,\n"
+       (Tse_pool.Pool.size (Tse_pool.Pool.global ())));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
     (Printf.sprintf
        "  \"config\": {\"seed\": %d, \"steps\": %d, \"crashes\": %d, \
         \"classes\": %d, \"objects\": %d, \"writers\": %d, \

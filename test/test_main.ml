@@ -23,4 +23,6 @@ let () =
       ("concurrency", Test_concurrency.suite);
       ("durability", Test_durability.suite);
       ("evolution-recovery", Test_evolution_recovery.suite);
+      ("pool", Test_pool.suite);
+      ("parallel", Test_parallel.suite);
     ]
