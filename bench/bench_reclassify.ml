@@ -74,6 +74,28 @@ type group = {
   quiet_evals : int;
 }
 
+(* Per-write latency distribution on the incremental side: a separate
+   instrumented pass (clock reads around every write would distort the
+   timed best-of runs above), folded into a quantile snapshot. *)
+let write_latency_quantiles ~objects ~writes n =
+  let hot s = Printf.sprintf "f%d" (s mod attr_slots) in
+  let db, objs = mk_fixture ~full:false ~objects n in
+  let obs = ref [] in
+  for s = 0 to writes - 1 do
+    let o = objs.(s mod Array.length objs) in
+    let t0 = Unix.gettimeofday () in
+    Database.set_attr db o (hot s) (Value.Int (s * 13 mod 100));
+    obs := ((Unix.gettimeofday () -. t0) *. 1e6) :: !obs
+  done;
+  Metrics.Histogram.of_observations
+    ~buckets:[ 0.5; 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 1000.; 10000. ]
+    (List.rev !obs)
+
+let quantiles_json (h : Metrics.hist_snapshot) =
+  Printf.sprintf
+    "{\"count\": %d, \"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f}"
+    h.Metrics.h_count h.Metrics.h_p50 h.Metrics.h_p95 h.Metrics.h_p99
+
 let measure_group ~objects ~writes n =
   let hot s = Printf.sprintf "f%d" (s mod attr_slots) in
   let side full attr_of =
@@ -156,13 +178,19 @@ let query_phase ~objects =
   (indexed, scanned)
 
 let json_of groups ~smoke ~objects ~writes ~indexed ~scanned ~bulk_objects
-    ~scaling =
+    ~scaling ~latency =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Printf.bprintf b "  \"benchmark\": \"reclassify\",\n";
   Printf.bprintf b "  \"smoke\": %b,\n" smoke;
   Printf.bprintf b "  \"objects\": %d,\n" objects;
   Printf.bprintf b "  \"writes\": %d,\n" writes;
+  Printf.bprintf b "  \"write_latency_us\": {%s},\n"
+    (String.concat ", "
+       (List.map
+          (fun (n, h) ->
+            Printf.sprintf "\"virtuals_%d\": %s" n (quantiles_json h))
+          latency));
   Printf.bprintf b "  \"domains\": %d,\n" (Pool.size (Pool.global ()));
   Printf.bprintf b "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   Printf.bprintf b "  \"bulk_objects\": %d,\n" bulk_objects;
@@ -242,6 +270,18 @@ let run ~smoke () =
         g.virtuals g.incr_ns g.incr_evals g.oracle_ns g.oracle_evals
         (g.oracle_ns /. g.incr_ns) g.quiet_ns g.quiet_evals)
     groups;
+  let latency =
+    List.map
+      (fun n -> (n, write_latency_quantiles ~objects ~writes n))
+      [ 1; 10; 100 ]
+  in
+  List.iter
+    (fun (n, h) ->
+      Printf.printf
+        "  virtuals=%3d  per-write latency: p50 %8.2fus  p95 %8.2fus  p99 \
+         %8.2fus\n"
+        n h.Metrics.h_p50 h.Metrics.h_p95 h.Metrics.h_p99)
+    latency;
   let bulk_objects, scaling = bulk_scaling ~smoke in
   let host_cores = Domain.recommended_domain_count () in
   Printf.printf
@@ -256,7 +296,7 @@ let run ~smoke () =
   let indexed, scanned = query_phase ~objects in
   let json =
     json_of groups ~smoke ~objects ~writes ~indexed ~scanned ~bulk_objects
-      ~scaling
+      ~scaling ~latency
   in
   let oc = open_out "BENCH_reclassify.json" in
   output_string oc json;

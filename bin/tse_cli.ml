@@ -565,6 +565,115 @@ let soak dir steps crashes seed out =
     Printf.printf "wrote %s\n" path);
   if o.Tse_workload.Soak.violations <> [] then exit 1
 
+(* ---------------- live telemetry ---------------- *)
+
+module Timeseries = Tse_obs.Timeseries
+module Telemetry_server = Tse_obs.Telemetry_server
+module Trace = Tse_obs.Trace
+module Trace_analyze = Tse_obs.Trace_analyze
+
+(* serve-stats = soak with the telemetry plane attached: the sampler
+   ticks in the background, the endpoint serves /metrics, /series and
+   /rates while the workload runs, and an optional linger window keeps
+   the endpoint up after the soak so scrapers race nothing. *)
+let serve_stats addr sample_ms dir steps crashes seed out linger_s =
+  let ts = Timeseries.create () in
+  Timeseries.start ?interval_ms:sample_ms ts;
+  let srv =
+    match Telemetry_server.start ?addr ~ts () with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "error: cannot serve stats: %s\n" e;
+      exit 2
+  in
+  Printf.printf "serving stats on %s (GET /metrics | /series | /rates)\n%!"
+    (Telemetry_server.addr srv);
+  let dir =
+    match dir with
+    | Some d -> d
+    | None ->
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tse_serve_stats_%d" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      (Tse_workload.Soak.default ~dir) with
+      steps;
+      crashes;
+      seed;
+      sampler = Some ts;
+    }
+  in
+  Printf.printf "soak: seed=%d steps=%d crashes=%d dir=%s\n%!" seed steps
+    crashes dir;
+  let o = Tse_workload.Soak.run cfg in
+  Format.printf "%a@." Tse_workload.Soak.pp_outcome o;
+  (match out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Tse_workload.Soak.to_json cfg o);
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  if linger_s > 0 then begin
+    Printf.printf "soak done; stats stay scrapeable for %ds\n%!" linger_s;
+    Unix.sleepf (float_of_int linger_s)
+  end;
+  Telemetry_server.stop srv;
+  Timeseries.stop ts;
+  if o.Tse_workload.Soak.violations <> [] then exit 1
+
+let top addr count interval_ms =
+  let addr =
+    match addr with Some a -> a | None -> Telemetry_server.default_addr ()
+  in
+  for i = 1 to count do
+    (match Telemetry_server.fetch ~addr ~path:"/rates" with
+    | Ok body -> print_string body
+    | Error e ->
+      Printf.eprintf "error: %s: %s\n" addr e;
+      exit 2);
+    if i < count then begin
+      print_newline ();
+      Unix.sleepf (float_of_int interval_ms /. 1000.)
+    end
+  done
+
+let trace_analyze file mode as_json top_n =
+  match Trace.parse_file file with
+  | Error e ->
+    Printf.eprintf "error: %s: %s\n" file e;
+    exit 2
+  | Ok (spans, damage) -> (
+    (match damage with
+    | Some (lineno, msg) ->
+      Printf.eprintf
+        "warning: trace torn at line %d (%s); analyzing the %d spans before \
+         it\n"
+        lineno msg (List.length spans)
+    | None -> ());
+    match mode with
+    | "summary" ->
+      let stats = Trace_analyze.summary spans in
+      if as_json then print_endline (Trace_analyze.summary_json stats)
+      else Format.printf "%a" Trace_analyze.pp_summary stats
+    | "critical" ->
+      let roots =
+        Trace_analyze.forest spans
+        |> List.stable_sort (fun a b ->
+               compare b.Trace_analyze.span.Trace.dur_us
+                 a.Trace_analyze.span.Trace.dur_us)
+        |> List.filteri (fun i _ -> i < top_n)
+      in
+      Format.printf "%a" Trace_analyze.pp_critical roots
+    | "slow" ->
+      Format.printf "%a" Trace_analyze.pp_slow
+        (Trace_analyze.slowest ~top:top_n spans)
+    | other ->
+      Printf.eprintf "error: unknown mode %s (summary|critical|slow)\n" other;
+      exit 2)
+
 (* ---------------- static analysis ---------------- *)
 
 let lint format schema seed catalog =
@@ -685,11 +794,95 @@ let soak_cmd =
       const soak $ soak_dir_arg $ soak_steps_arg $ soak_crashes_arg
       $ soak_seed_arg $ soak_out_arg)
 
+let addr_arg =
+  let doc =
+    "Stats endpoint address: HOST:PORT (numeric host; port 0 = kernel \
+     picks) or unix:PATH. Defaults to TSE_STATS_ADDR, else 127.0.0.1:9464."
+  in
+  Arg.(value & opt (some string) None & info [ "addr" ] ~docv:"ADDR" ~doc)
+
+let sample_ms_arg =
+  let doc =
+    "Sampler tick in milliseconds. Defaults to TSE_SAMPLE_MS, else 250."
+  in
+  Arg.(value & opt (some int) None & info [ "sample-ms" ] ~docv:"MS" ~doc)
+
+let linger_arg =
+  let doc =
+    "Keep the endpoint scrapeable this many seconds after the soak ends."
+  in
+  Arg.(value & opt int 0 & info [ "linger-s" ] ~docv:"SECONDS" ~doc)
+
+let serve_stats_cmd =
+  Cmd.v
+    (Cmd.info "serve-stats"
+       ~doc:
+         "Run the chaos soak with the live telemetry plane attached: a \
+          background sampler ticks the metrics registry into ring-buffer \
+          time-series, and an HTTP endpoint serves Prometheus-style \
+          exposition (/metrics), the sampled series (/series) and live \
+          headline rates (/rates) while the workload runs. Exits 1 on any \
+          soak violation.")
+    Term.(
+      const serve_stats $ addr_arg $ sample_ms_arg $ soak_dir_arg
+      $ soak_steps_arg $ soak_crashes_arg $ soak_seed_arg $ soak_out_arg
+      $ linger_arg)
+
+let top_count_arg =
+  let doc = "Number of refreshes before exiting." in
+  Arg.(value & opt int 5 & info [ "n"; "count" ] ~docv:"N" ~doc)
+
+let top_interval_arg =
+  let doc = "Milliseconds between refreshes." in
+  Arg.(value & opt int 1000 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Attach to a running serve-stats endpoint and render its live \
+          rates (ops/s, fsyncs/commit, memo hit rate, pool utilization).")
+    Term.(const top $ addr_arg $ top_count_arg $ top_interval_arg)
+
+let trace_file_arg =
+  let doc = "TSE_TRACE JSONL file to analyze." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let trace_mode_arg =
+  let doc =
+    "Report: summary (per-phase p50/p95/p99), critical (critical-path \
+     breakdown of the slowest roots), or slow (slowest spans)."
+  in
+  Arg.(value & pos 1 string "summary" & info [] ~docv:"MODE" ~doc)
+
+let trace_json_arg =
+  let doc = "Emit JSON instead of the text table (summary mode)." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_top_arg =
+  let doc = "How many roots/spans the critical and slow modes show." in
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Analyze a TSE_TRACE span file: rebuild span trees from \
+          span/parent ids and attribute latency per phase (quantiles), \
+          along critical paths (self-times), or to the slowest spans. \
+          Tolerates traces torn by a crash.")
+    Term.(
+      const trace_analyze $ trace_file_arg $ trace_mode_arg $ trace_json_arg
+      $ trace_top_arg)
+
 let cmd =
   Cmd.group
     ~default:repl_term
     (Cmd.info "tse_cli" ~version:"1.0"
        ~doc:"Interactive shell for the Transparent Schema Evolution system")
-    [ repl_cmd; recover_cmd; checkpoint_cmd; lint_cmd; soak_cmd ]
+    [
+      repl_cmd; recover_cmd; checkpoint_cmd; lint_cmd; soak_cmd;
+      serve_stats_cmd; top_cmd; trace_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

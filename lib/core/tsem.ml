@@ -39,6 +39,11 @@ let define_view_by_names t ~name ?complete_closure names =
 let current t name = History.current_exn t.history name
 
 let evolve t ~view change =
+  (* The whole evolution runs under the watchdog's budget clock
+     (admission + translation + history swap) — W302 fires when the
+     end-to-end latency blows TSE_EVOLVE_BUDGET_MS, which is what a
+     caller blocked on [evolve] actually experiences. *)
+  Tse_obs.Watchdog.time_evolution ~view @@ fun () ->
   let old_view = current t view in
   Log.info (fun m ->
       m "evolving view %s (v%d): %s" view old_view.View_schema.version

@@ -564,6 +564,7 @@ let reclassify_oracle t o =
     else if fuel = 0 then begin
       (* nonmonotone derivations may not converge *)
       Metrics.incr m_fuel_exhausted;
+      Tse_obs.Watchdog.fuel_pressure ~what:"oracle";
       warn_nonconvergence t o;
       next
     end
@@ -614,6 +615,7 @@ let run_incremental_fixpoint t vs o =
     if Oid.Set.equal next evaluated_under then next
     else if fuel = 0 then begin
       Metrics.incr m_fuel_exhausted;
+      Tse_obs.Watchdog.fuel_pressure ~what:"incremental";
       warn_nonconvergence t o;
       next
     end

@@ -157,7 +157,37 @@ type hist_snapshot = {
   h_inf : int;
   h_count : int;
   h_sum : float;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
 }
+
+(* Quantile estimate from cumulative bucket counts: find the first
+   bucket whose cumulative count reaches p*count and interpolate
+   linearly between its lower and upper bound.  Observations above the
+   last finite bound have no upper edge to interpolate toward, so
+   quantiles landing in the +inf bucket report the last finite bound (a
+   lower bound on the true quantile). *)
+let percentile_of (h : hist_snapshot) p =
+  if h.h_count = 0 then 0.
+  else begin
+    let p = Float.max 0. (Float.min 1. p) in
+    let target = p *. float_of_int h.h_count in
+    let rec go prev_bound prev_cum = function
+      | [] -> prev_bound
+      | (bound, cum) :: rest ->
+        if float_of_int cum >= target && cum > prev_cum then begin
+          let frac =
+            (target -. float_of_int prev_cum)
+            /. float_of_int (cum - prev_cum)
+          in
+          let frac = Float.max 0. (Float.min 1. frac) in
+          prev_bound +. (frac *. (bound -. prev_bound))
+        end
+        else go bound cum rest
+    in
+    go 0. 0 h.h_buckets
+  end
 
 type value = Counter of int | Gauge of float | Histogram of hist_snapshot
 
@@ -182,12 +212,74 @@ let snapshot_hist h =
            (b, !acc))
          h.hg_bounds)
   in
+  let snap =
+    {
+      h_buckets = buckets;
+      h_inf = counts.(Array.length h.hg_bounds);
+      h_count = count;
+      h_sum = sum;
+      h_p50 = 0.;
+      h_p95 = 0.;
+      h_p99 = 0.;
+    }
+  in
   {
-    h_buckets = buckets;
-    h_inf = counts.(Array.length h.hg_bounds);
-    h_count = count;
-    h_sum = sum;
+    snap with
+    h_p50 = percentile_of snap 0.50;
+    h_p95 = percentile_of snap 0.95;
+    h_p99 = percentile_of snap 0.99;
   }
+
+module Histogram = struct
+  let percentile_of = percentile_of
+  let percentile h p = percentile_of (snapshot_hist h) p
+
+  (* Pure constructor: fold a list of raw observations into a
+     [hist_snapshot] without touching the registry.  The uniform way for
+     benches and harnesses to turn collected latencies into a quantile
+     table instead of hand-rolling sort + index arithmetic. *)
+  let of_observations ?(buckets = default_buckets) obs =
+    let bounds = Array.of_list (List.sort_uniq compare buckets) in
+    let n = Array.length bounds in
+    let counts = Array.make (n + 1) 0 in
+    let count = ref 0 and sum = ref 0. in
+    List.iter
+      (fun v ->
+        let rec bucket i =
+          if i >= n then n else if v <= bounds.(i) then i else bucket (i + 1)
+        in
+        let i = bucket 0 in
+        counts.(i) <- counts.(i) + 1;
+        count := !count + 1;
+        sum := !sum +. v)
+      obs;
+    let acc = ref 0 in
+    let hb =
+      Array.to_list
+        (Array.mapi
+           (fun i b ->
+             acc := !acc + counts.(i);
+             (b, !acc))
+           bounds)
+    in
+    let snap =
+      {
+        h_buckets = hb;
+        h_inf = counts.(n);
+        h_count = !count;
+        h_sum = !sum;
+        h_p50 = 0.;
+        h_p95 = 0.;
+        h_p99 = 0.;
+      }
+    in
+    {
+      snap with
+      h_p50 = percentile_of snap 0.50;
+      h_p95 = percentile_of snap 0.95;
+      h_p99 = percentile_of snap 0.99;
+    }
+end
 
 let snapshot () =
   locked (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])

@@ -49,7 +49,27 @@ type hist_snapshot = {
   h_inf : int;  (** observations above the last boundary *)
   h_count : int;
   h_sum : float;
+  h_p50 : float;  (** bucket-interpolated quantiles, 0. when empty *)
+  h_p95 : float;
+  h_p99 : float;
 }
+
+module Histogram : sig
+  val percentile : histogram -> float -> float
+  (** [percentile h p] ([p] in [0,1]) estimates the [p]-quantile of the
+      observations from cumulative bucket counts, interpolating
+      linearly inside the bucket the quantile lands in.  Quantiles in
+      the +inf bucket report the last finite bound (a lower bound on
+      the truth); an empty histogram reports 0. *)
+
+  val percentile_of : hist_snapshot -> float -> float
+  (** Same estimate over an already-taken snapshot. *)
+
+  val of_observations : ?buckets:float list -> float list -> hist_snapshot
+  (** Fold raw observations into a snapshot (with quantile fields)
+      without registering anything — the uniform way for benches to
+      build a quantile table from collected latencies. *)
+end
 
 type value = Counter of int | Gauge of float | Histogram of hist_snapshot
 
@@ -61,6 +81,10 @@ type sample = {
 
 val snapshot : unit -> sample list
 (** All registered metrics, sorted by name then labels. *)
+
+val key_of : sample -> string
+(** Canonical display key: the name, plus [{k=v,...}] when labeled.
+    Stable — the sampler and exposition endpoints key series by it. *)
 
 val find_counter : ?labels:(string * string) list -> string -> int
 (** Current value of a counter, or 0 if it was never registered. *)

@@ -1,0 +1,56 @@
+(** Ring-buffer time-series sampler over the metrics registry.
+
+    A sampler periodically snapshots {!Metrics} and appends one point
+    per derived series into fixed-capacity ring buffers:
+
+    - every counter becomes a [rate] series (delta since the previous
+      tick divided by elapsed seconds, clamped at 0 so a registry
+      [reset] never shows up as a negative rate);
+    - every gauge becomes a [gauge] series carrying its raw value;
+    - every non-empty histogram becomes three [quantile] series
+      ([<key>.p50] / [<key>.p95] / [<key>.p99]) plus a [<key>.rate]
+      observation-rate series.
+
+    Sampling can be driven manually ({!sample} — what the soak harness
+    does once per step) or by a background domain ({!start}/{!stop})
+    ticking every [TSE_SAMPLE_MS] milliseconds (default 250).  All
+    state is mutex-guarded; reads are safe while the sampler runs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh sampler; each series keeps the last [capacity] points
+    (default 600 — 2.5 minutes at the default tick). *)
+
+val sample : t -> unit
+(** Take one tick now.  The first tick only establishes counter
+    baselines — rate series start emitting from the second tick. *)
+
+val start : ?interval_ms:int -> t -> unit
+(** Spawn a background domain sampling every [interval_ms] ms
+    (default [TSE_SAMPLE_MS], else 250).  Idempotent while running. *)
+
+val stop : t -> unit
+(** Stop and join the background domain, if any.  The collected
+    series remain readable. *)
+
+val running : t -> bool
+val interval_ms : t -> int
+(** Tick period the sampler was started with (default until then). *)
+
+val series_names : t -> string list
+(** Sorted names of every series that has at least one point. *)
+
+val points : t -> string -> (int * float) list
+(** Chronological [(ts_us, value)] points of one series ([[]] if
+    unknown).  Timestamps are strictly increasing within a series. *)
+
+val last : t -> string -> (int * float) option
+
+val to_json : t -> string
+(** [{"interval_ms":N,"series":[{"name":...,"kind":"rate"|"gauge"|
+    "quantile","points":[[ts_us,v],...]},...]}] — the shape served at
+    [/series] and embedded in BENCH_scenarios.json. *)
+
+val default_interval_ms : unit -> int
+(** [TSE_SAMPLE_MS] if set and positive, else 250. *)

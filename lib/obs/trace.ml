@@ -2,18 +2,33 @@ type span = {
   name : string;
   start_us : int;
   dur_us : int;
+  sid : int;
+  psid : int option;
   attrs : (string * string) list;
 }
 
 (* Wall clock in microseconds, clamped to be monotonic within the
-   process (gettimeofday can step backwards under NTP). *)
-let last_us = ref 0
+   process (gettimeofday can step backwards under NTP — and spans are
+   emitted from every worker domain, so the clamp state is atomic). *)
+let last_us = Atomic.make 0
 
-let now_us () =
+let rec now_us () =
   let t = int_of_float (Unix.gettimeofday () *. 1e6) in
-  let t = if t > !last_us then t else !last_us in
-  last_us := t;
-  t
+  let last = Atomic.get last_us in
+  let t = if t > last then t else last in
+  if Atomic.compare_and_set last_us last t then t else now_us ()
+
+(* Span ids are process-unique (a single atomic counter); the parent
+   link is per-domain — each domain keeps its own stack of open spans,
+   so concurrent workers never see each other's frames as parents. *)
+let next_sid = Atomic.make 1
+let fresh_sid () = Atomic.fetch_and_add next_sid 1
+
+let open_spans : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let current_parent () =
+  match !(Domain.DLS.get open_spans) with [] -> None | sid :: _ -> Some sid
 
 type sink_state =
   | Uninitialized
@@ -51,11 +66,15 @@ let flush () = match !state with Emit (_, fl) -> fl () | _ -> ()
 
 let json_escape = Metrics.json_escape
 
-let emit_span emit name start_us dur_us attrs =
+let emit_span emit name start_us dur_us ~sid ~psid attrs =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
     (Printf.sprintf "{\"name\":\"%s\",\"start_us\":%d,\"dur_us\":%d"
        (json_escape name) start_us dur_us);
+  Buffer.add_string buf (Printf.sprintf ",\"sid\":%d" sid);
+  (match psid with
+  | None -> ()
+  | Some p -> Buffer.add_string buf (Printf.sprintf ",\"psid\":%d" p));
   (match attrs with
   | [] -> ()
   | attrs ->
@@ -73,20 +92,31 @@ let emit_span emit name start_us dur_us attrs =
 let with_span ?(attrs = []) name f =
   match sink () with
   | Emit (emit, _) -> (
+    let sid = fresh_sid () in
+    let psid = current_parent () in
+    let stack = Domain.DLS.get open_spans in
+    stack := sid :: !stack;
+    let pop () =
+      match !stack with s :: rest when s = sid -> stack := rest | _ -> ()
+    in
     let t0 = now_us () in
     match f () with
     | v ->
-      emit_span emit name t0 (now_us () - t0) attrs;
+      pop ();
+      emit_span emit name t0 (now_us () - t0) ~sid ~psid attrs;
       v
     | exception e ->
-      emit_span emit name t0 (now_us () - t0)
+      pop ();
+      emit_span emit name t0 (now_us () - t0) ~sid ~psid
         (attrs @ [ ("err", Printexc.to_string e) ]);
       raise e)
   | _ -> f ()
 
 let event ?(attrs = []) name =
   match sink () with
-  | Emit (emit, _) -> emit_span emit name (now_us ()) 0 attrs
+  | Emit (emit, _) ->
+    emit_span emit name (now_us ()) 0 ~sid:(fresh_sid ())
+      ~psid:(current_parent ()) attrs
   | _ -> ()
 
 (* ---- parser --------------------------------------------------------- *)
@@ -216,7 +246,10 @@ let parse_line line =
             kvs
         | _ -> []
       in
-      Ok { name; start_us; dur_us; attrs }
+      (* sid/psid are absent in traces from before span ids existed;
+         sid 0 means "unknown" and the analyzer treats it as a root. *)
+      let sid = Option.value (int "sid") ~default:0 in
+      Ok { name; start_us; dur_us; sid; psid = int "psid"; attrs }
     | _ -> Error "missing name/start_us/dur_us")
   | _ -> Error "not a JSON object"
 
@@ -227,13 +260,17 @@ let parse_file path =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
+        (* A crash can tear the last line of the trace exactly like it
+           tears the WAL, so a malformed line ends the parse rather
+           than failing it: everything before it is returned, with the
+           position of the damage. *)
         let rec loop lineno acc =
           match input_line ic with
-          | exception End_of_file -> Ok (List.rev acc)
+          | exception End_of_file -> Ok (List.rev acc, None)
           | "" -> loop (lineno + 1) acc
           | line -> (
             match parse_line line with
             | Ok s -> loop (lineno + 1) (s :: acc)
-            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+            | Error msg -> Ok (List.rev acc, Some (lineno, msg)))
         in
         loop 1 [])

@@ -12,6 +12,9 @@ type span = {
   name : string;
   start_us : int;  (** microseconds since the Unix epoch *)
   dur_us : int;
+  sid : int;  (** process-unique span id; 0 in pre-span-id traces *)
+  psid : int option;
+      (** enclosing span's id on the same domain; [None] for roots *)
   attrs : (string * string) list;
 }
 
@@ -36,6 +39,9 @@ val parse_line : string -> (span, string) result
 (** Parse one JSONL trace line back into a span — the inverse of the
     emitter, used by tests and tooling to round-trip trace files. *)
 
-val parse_file : string -> (span list, string) result
-(** Parse every non-empty line of a trace file; fails on the first
-    malformed line with its line number. *)
+val parse_file : string -> (span list * (int * string) option, string) result
+(** Parse every non-empty line of a trace file.  Crashes tear the
+    trace like they tear the WAL, so a malformed line stops the parse
+    instead of failing it: the result carries every span before the
+    damage plus [Some (lineno, msg)] locating it ([None] when the file
+    was clean).  [Error] is reserved for an unreadable file. *)

@@ -1,0 +1,186 @@
+type tree = { span : Trace.span; children : tree list }
+
+type stat = {
+  st_name : string;
+  st_count : int;
+  st_total_us : int;
+  st_p50_us : float;
+  st_p95_us : float;
+  st_p99_us : float;
+  st_max_us : int;
+}
+
+(* ---- tree building -------------------------------------------------- *)
+
+let forest spans =
+  let arr = Array.of_list spans in
+  let n = Array.length arr in
+  (* First span wins a duplicated sid (merged files); sid 0 means the
+     trace predates span ids and can never be a parent. *)
+  let by_sid = Hashtbl.create (max 16 n) in
+  Array.iteri
+    (fun i s ->
+      if s.Trace.sid > 0 && not (Hashtbl.mem by_sid s.Trace.sid) then
+        Hashtbl.add by_sid s.Trace.sid i)
+    arr;
+  let children = Array.make (max 1 n) [] in
+  let is_child = Array.make (max 1 n) false in
+  Array.iteri
+    (fun i s ->
+      match s.Trace.psid with
+      | Some p when p <> s.Trace.sid -> (
+        match Hashtbl.find_opt by_sid p with
+        | Some pi when pi <> i ->
+          children.(pi) <- i :: children.(pi);
+          is_child.(i) <- true
+        | _ -> ())
+      | _ -> ())
+    arr;
+  let built = Array.make (max 1 n) false in
+  let rec build i =
+    built.(i) <- true;
+    let kids =
+      List.rev children.(i)
+      |> List.filter (fun j -> not built.(j))
+      |> List.map build
+    in
+    { span = arr.(i); children = kids }
+  in
+  let roots = ref [] in
+  Array.iteri (fun i _ -> if not is_child.(i) then roots := build i :: !roots) arr;
+  (* A psid cycle (corrupt input) leaves its members unbuilt: sweep
+     them up as extra roots rather than dropping spans. *)
+  Array.iteri (fun i _ -> if not built.(i) then roots := build i :: !roots) arr;
+  List.rev !roots
+
+let self_us t =
+  let covered =
+    List.fold_left (fun acc c -> acc + c.span.Trace.dur_us) 0 t.children
+  in
+  max 0 (t.span.Trace.dur_us - covered)
+
+(* ---- per-phase stats ------------------------------------------------ *)
+
+(* Nearest-rank order statistic over the raw durations — with trace
+   files we have every observation, so no bucket estimation needed. *)
+let rank_pct sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let i = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+    float_of_int sorted.(max 0 (min (n - 1) i))
+  end
+
+let summary spans =
+  let groups = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let durs =
+        match Hashtbl.find_opt groups s.Trace.name with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add groups s.Trace.name r;
+          r
+      in
+      durs := s.Trace.dur_us :: !durs)
+    spans;
+  Hashtbl.fold
+    (fun name durs acc ->
+      let sorted = Array.of_list !durs in
+      Array.sort compare sorted;
+      let count = Array.length sorted in
+      {
+        st_name = name;
+        st_count = count;
+        st_total_us = Array.fold_left ( + ) 0 sorted;
+        st_p50_us = rank_pct sorted 0.50;
+        st_p95_us = rank_pct sorted 0.95;
+        st_p99_us = rank_pct sorted 0.99;
+        st_max_us = (if count = 0 then 0 else sorted.(count - 1));
+      }
+      :: acc)
+    groups []
+  |> List.sort (fun a b ->
+         match compare b.st_total_us a.st_total_us with
+         | 0 -> compare a.st_name b.st_name
+         | c -> c)
+
+let critical_path t =
+  let rec go t acc =
+    let acc = (t.span, self_us t) :: acc in
+    match t.children with
+    | [] -> List.rev acc
+    | kids ->
+      let widest =
+        List.fold_left
+          (fun best c ->
+            if c.span.Trace.dur_us > best.span.Trace.dur_us then c else best)
+          (List.hd kids) (List.tl kids)
+      in
+      go widest acc
+  in
+  go t []
+
+let slowest ?(top = 10) spans =
+  List.stable_sort
+    (fun a b -> compare b.Trace.dur_us a.Trace.dur_us)
+    spans
+  |> List.filteri (fun i _ -> i < top)
+
+(* ---- rendering ------------------------------------------------------ *)
+
+let ms us = float_of_int us /. 1000.
+
+let summary_json stats =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i st ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"count\":%d,\"total_ms\":%.3f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f}"
+           (Metrics.json_escape st.st_name)
+           st.st_count (ms st.st_total_us)
+           (st.st_p50_us /. 1000.)
+           (st.st_p95_us /. 1000.)
+           (st.st_p99_us /. 1000.)
+           (ms st.st_max_us)))
+    stats;
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let pp_summary fmt stats =
+  Format.fprintf fmt "%-36s %7s %11s %9s %9s %9s %9s@." "phase" "count"
+    "total_ms" "p50_ms" "p95_ms" "p99_ms" "max_ms";
+  List.iter
+    (fun st ->
+      Format.fprintf fmt "%-36s %7d %11.3f %9.3f %9.3f %9.3f %9.3f@."
+        st.st_name st.st_count (ms st.st_total_us)
+        (st.st_p50_us /. 1000.)
+        (st.st_p95_us /. 1000.)
+        (st.st_p99_us /. 1000.)
+        (ms st.st_max_us))
+    stats
+
+let pp_critical fmt roots =
+  List.iter
+    (fun root ->
+      Format.fprintf fmt "%s  %.3fms total@." root.span.Trace.name
+        (ms root.span.Trace.dur_us);
+      List.iteri
+        (fun depth (s, self) ->
+          Format.fprintf fmt "%s%s  %.3fms (self %.3fms)@."
+            (String.make ((depth + 1) * 2) ' ')
+            s.Trace.name (ms s.Trace.dur_us) (ms self))
+        (critical_path root))
+    roots
+
+let pp_slow fmt spans =
+  Format.fprintf fmt "%-36s %11s %20s@." "span" "dur_ms" "start_us";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-36s %11.3f %20d@." s.Trace.name (ms s.Trace.dur_us)
+        s.Trace.start_us)
+    spans

@@ -1,0 +1,50 @@
+(** Offline analysis of TSE_TRACE span files.
+
+    Rebuilds span trees from the flat JSONL (children carry their
+    enclosing span's id in [psid]; emission order is children-first,
+    so linking is by id, never by position) and attributes latency two
+    ways: per-phase quantiles over every span sharing a name, and
+    critical paths — the longest-child chain under each root with
+    self-time (duration minus direct children) at every hop.
+
+    Spans from pre-span-id traces ([sid = 0]) are kept but always
+    treated as roots. *)
+
+type tree = { span : Trace.span; children : tree list }
+
+type stat = {
+  st_name : string;
+  st_count : int;
+  st_total_us : int;
+  st_p50_us : float;
+  st_p95_us : float;
+  st_p99_us : float;
+  st_max_us : int;
+}
+
+val forest : Trace.span list -> tree list
+(** Link spans into trees by [sid]/[psid].  A span whose parent id is
+    unknown (torn away, or from another process) becomes a root.
+    Root order follows input order. *)
+
+val self_us : tree -> int
+(** Duration not covered by direct children, clamped at 0 (clock
+    clamping can make children sum past the parent). *)
+
+val summary : Trace.span list -> stat list
+(** Per-name duration stats, sorted by total time descending.
+    Quantiles are exact order statistics over the observed durations
+    (nearest-rank), not bucket estimates. *)
+
+val critical_path : tree -> (Trace.span * int) list
+(** Root-to-leaf chain following the longest direct child at each
+    step; each entry pairs the span with its self-time. *)
+
+val slowest : ?top:int -> Trace.span list -> Trace.span list
+(** The [top] (default 10) spans by duration, slowest first. *)
+
+val summary_json : stat list -> string
+
+val pp_summary : Format.formatter -> stat list -> unit
+val pp_critical : Format.formatter -> tree list -> unit
+val pp_slow : Format.formatter -> Trace.span list -> unit

@@ -1,4 +1,5 @@
 module Metrics = Tse_obs.Metrics
+module Watchdog = Tse_obs.Watchdog
 module Pool = Tse_pool.Pool
 
 type entry =
@@ -224,6 +225,14 @@ let frame t ~seq entries =
   Metrics.add m_bytes_framed (String.length record);
   record
 
+(* Data-path fsyncs run under the stall watchdog: a slow disk shows up
+   as a W301 warning and in the wal.fsync_ms histogram rather than as
+   silent tail latency. *)
+let timed_fsync fd =
+  let t0 = Unix.gettimeofday () in
+  Unix.fsync fd;
+  Watchdog.observe_fsync ~ms:((Unix.gettimeofday () -. t0) *. 1000.)
+
 let append_nosync t ~seq entries =
   ignore (fd_exn t);
   Failpoint.hit fp_group_append;
@@ -250,7 +259,7 @@ let sync t =
     Failpoint.hit fp_group_fsync;
     (* on the data path a failed fsync must propagate: the caller is about
        to treat the whole group as durable *)
-    Unix.fsync fd;
+    timed_fsync fd;
     t.stats.fsyncs <- t.stats.fsyncs + 1;
     t.stats.syncs <- t.stats.syncs + 1;
     Metrics.incr m_fsyncs;
@@ -277,7 +286,7 @@ let append t ~seq entries =
     raise (Failpoint.Crash fp_append_short)
   | None -> Storage.write_all fd record 0 len);
   Failpoint.hit fp_append_fsync;
-  Unix.fsync fd;
+  timed_fsync fd;
   t.stats.fsyncs <- t.stats.fsyncs + 1;
   t.stats.syncs <- t.stats.syncs + 1;
   Metrics.incr m_fsyncs;

@@ -18,6 +18,7 @@ module Tsem = Tse_core.Tsem
 module Durable_tse = Tse_core.Durable_tse
 module Verify = Tse_core.Verify
 module Metrics = Tse_obs.Metrics
+module Timeseries = Tse_obs.Timeseries
 
 (* Chaos soak: a seeded scenario generator drives hundreds of view
    evolutions (long version chains) against a durable database while OCC
@@ -39,6 +40,9 @@ type config = {
   objects : int;
   writers : int;  (* OCC writer transactions per step *)
   checkpoint_every : int;  (* steps between checkpoints; 0 = never *)
+  sampler : Timeseries.t option;
+      (* externally-owned sampler (serve-stats passes the one its
+         endpoint serves); [None] means the run creates a private one *)
 }
 
 let default ~dir =
@@ -52,6 +56,7 @@ let default ~dir =
     objects = 30;
     writers = 3;
     checkpoint_every = 20;
+    sampler = None;
   }
 
 type outcome = {
@@ -69,6 +74,7 @@ type outcome = {
   reads : int;
   recovery_ms : float list;  (* one entry per crash recovery, in order *)
   violations : string list;
+  timeseries : Timeseries.t;  (* one tick per step *)
 }
 
 let view_name = "main"
@@ -363,6 +369,9 @@ let reader_traffic st =
 
 let run cfg =
   let rng = Random.State.make [| cfg.seed |] in
+  let ts =
+    match cfg.sampler with Some ts -> ts | None -> Timeseries.create ()
+  in
   Failpoint.reset ();
   let t, _ = Durable_tse.open_dir ?policy:cfg.policy ~dir:cfg.dir () in
   let oracle = Tsem.create () in
@@ -399,6 +408,7 @@ let run cfg =
   let crashes_done = ref 0 and recoveries = ref 0 in
   let forward = ref 0 and back = ref 0 in
   let retries0 = Metrics.find_counter "occ.retries" in
+  Timeseries.sample ts (* baseline tick: rates start from step 0 *);
   for step = 0 to cfg.steps - 1 do
     (* 1. concurrent traffic, synced so a later crash cannot lose state
        the oracle already mirrors *)
@@ -484,7 +494,10 @@ let run cfg =
         (Printf.sprintf "step %d crash at %s" step where));
     (* 4. periodic checkpoint bounds recovery time *)
     if cfg.checkpoint_every > 0 && (step + 1) mod cfg.checkpoint_every = 0 then
-      Durable_tse.checkpoint st.t
+      Durable_tse.checkpoint st.t;
+    (* 5. one sampler tick per step — ops/s and quantile series over
+       the life of the run, embedded in the JSON report *)
+    Timeseries.sample ts
   done;
   (* final shutdown/reopen cycle: the surviving state must be readable
      cold and still equivalent to the twin *)
@@ -515,27 +528,30 @@ let run cfg =
     reads = st.reads;
     recovery_ms = List.rev st.recovery_ms;
     violations = List.rev st.violations;
+    timeseries = ts;
   }
 
 (* ---------------- reporting ---------------- *)
 
-let percentile sorted p =
-  match sorted with
-  | [] -> 0.
-  | xs ->
-    let n = List.length xs in
-    let idx = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
-    List.nth xs (max 0 idx)
+(* The headline series embedded in the report — the full sampler dump
+   (every registry metric) stays behind the /series endpoint. *)
+let embedded_series =
+  [
+    "occ.commits";  (* ops/s *)
+    "wal.fsyncs";
+    "evolve.ms.rate";  (* evolutions/s *)
+    "soak.recovery_ms.p50";
+    "soak.recovery_ms.p99";
+  ]
 
 let to_json cfg (o : outcome) =
   let buf = Buffer.create 1024 in
-  let sorted = List.sort compare o.recovery_ms in
   let hist_buckets = [ 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. ] in
-  let bucket_counts =
-    List.map
-      (fun b -> List.length (List.filter (fun ms -> ms <= b) o.recovery_ms))
-      hist_buckets
-  in
+  let rh = Metrics.Histogram.of_observations ~buckets:hist_buckets o.recovery_ms in
+  (* bucket interpolation can estimate past the true extreme; the exact
+     max is known here, so clamp the reported quantiles to it *)
+  let rmax = List.fold_left Float.max 0. o.recovery_ms in
+  let q v = Float.min v rmax in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"bench\": \"scenarios\",\n";
   Buffer.add_string buf
@@ -566,15 +582,31 @@ let to_json cfg (o : outcome) =
        o.final_version o.total_versions o.occ_commits o.occ_retries o.reads);
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"recovery_latency_ms\": {\"count\": %d, \"p50\": %.3f, \"p90\": \
+       "  \"recovery_latency_ms\": {\"count\": %d, \"p50\": %.3f, \"p95\": \
         %.3f, \"p99\": %.3f, \"max\": %.3f, \"buckets_ms\": [%s], \
         \"cumulative_counts\": [%s]},\n"
-       (List.length o.recovery_ms)
-       (percentile sorted 0.50) (percentile sorted 0.90)
-       (percentile sorted 0.99)
-       (match List.rev sorted with [] -> 0. | m :: _ -> m)
+       rh.Metrics.h_count (q rh.Metrics.h_p50) (q rh.Metrics.h_p95)
+       (q rh.Metrics.h_p99) rmax
        (String.concat ", " (List.map (Printf.sprintf "%g") hist_buckets))
-       (String.concat ", " (List.map string_of_int bucket_counts)));
+       (String.concat ", "
+          (List.map (fun (_, c) -> string_of_int c) rh.Metrics.h_buckets)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"timeseries\": {\"interval_ms\": %d, \"series\": [%s]},\n"
+       (Timeseries.interval_ms o.timeseries)
+       (String.concat ", "
+          (List.filter_map
+             (fun name ->
+               match Timeseries.points o.timeseries name with
+               | [] -> None
+               | pts ->
+                 Some
+                   (Printf.sprintf "{\"name\": \"%s\", \"points\": [%s]}"
+                      (Metrics.json_escape name)
+                      (String.concat ", "
+                         (List.map
+                            (fun (t, v) -> Printf.sprintf "[%d, %.6g]" t v)
+                            pts))))
+             embedded_series)));
   Buffer.add_string buf
     (Printf.sprintf "  \"violations\": [%s],\n"
        (String.concat ", "

@@ -30,6 +30,10 @@ type config = {
   objects : int;  (** objects populated at setup *)
   writers : int;  (** OCC writer transactions per step *)
   checkpoint_every : int;  (** steps between checkpoints; 0 = never *)
+  sampler : Tse_obs.Timeseries.t option;
+      (** sampler ticked once per step; [Some] lets a live stats
+          endpoint serve the same ring buffers the run fills, [None]
+          gives the run a private one (reported either way) *)
 }
 
 val default : dir:string -> config
@@ -51,6 +55,9 @@ type outcome = {
   reads : int;
   recovery_ms : float list;  (** per crash recovery, in order *)
   violations : string list;  (** empty = pass *)
+  timeseries : Tse_obs.Timeseries.t;
+      (** the run's sampler — ops/s, fsync and evolution rates,
+          recovery-latency quantiles, one point per step *)
 }
 
 val run : config -> outcome
@@ -58,6 +65,7 @@ val run : config -> outcome
 
 val to_json : config -> outcome -> string
 (** The BENCH_scenarios.json document: config, results, recovery-latency
-    histogram, violations, pass verdict. *)
+    quantile table, embedded headline time-series, violations, pass
+    verdict. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

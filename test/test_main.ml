@@ -25,4 +25,7 @@ let () =
       ("evolution-recovery", Test_evolution_recovery.suite);
       ("pool", Test_pool.suite);
       ("parallel", Test_parallel.suite);
+      (* last: its sampler tests call Metrics.reset, which zeroes the
+         global registry counters other suites read deltas from *)
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -216,12 +216,81 @@ let test_parse_file () =
       close_out oc;
       match Trace.parse_file path with
       | Error msg -> Alcotest.fail ("parse_file: " ^ msg)
-      | Ok spans ->
+      | Ok (spans, err) ->
+        Alcotest.(check bool) "no damage" true (err = None);
         Alcotest.(check int) "three spans" 3 (List.length spans);
         Alcotest.(check (list string))
           "attrs in order"
           [ "1"; "2"; "3" ]
-          (List.map (fun s -> List.assoc "i" s.Trace.attrs) spans))
+          (List.map (fun s -> List.assoc "i" s.Trace.attrs) spans);
+        List.iter
+          (fun s -> Alcotest.(check bool) "sid assigned" true (s.Trace.sid > 0))
+          spans)
+
+(* A trace file torn at any byte offset — a crash mid-write — must
+   still yield every complete line, with the damage position reported
+   exactly when a non-empty partial line remains. *)
+let test_parse_file_torn () =
+  let lines =
+    with_capture (fun () ->
+        for i = 1 to 3 do
+          Trace.with_span
+            ~attrs:[ ("i", string_of_int i) ]
+            "torn.span"
+            (fun () -> ())
+        done)
+  in
+  Alcotest.(check int) "three emitted lines" 3 (List.length lines);
+  let full = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let path = Filename.temp_file "tse_torn" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* content extent of each line: start offset and end-of-content
+         offset (the newline sits at the end offset) *)
+      let extents =
+        let off = ref 0 in
+        List.map
+          (fun l ->
+            let s = !off in
+            off := !off + String.length l + 1;
+            (s, s + String.length l))
+          lines
+      in
+      for cut = 0 to String.length full do
+        let prefix = String.sub full 0 cut in
+        let oc = open_out path in
+        output_string oc prefix;
+        close_out oc;
+        (* a line parses when its full content made it in — losing only
+           the trailing newline loses nothing; a strict prefix of the
+           content is unparsable and must be reported as damage *)
+        let complete =
+          List.length (List.filter (fun (_, e) -> cut >= e) extents)
+        in
+        let partial =
+          List.exists (fun (s, e) -> s < cut && cut < e) extents
+        in
+        match Trace.parse_file path with
+        | Error msg ->
+          Alcotest.fail (Printf.sprintf "cut %d: hard error %s" cut msg)
+        | Ok (spans, damage) ->
+          Alcotest.(check int)
+            (Printf.sprintf "cut %d: complete lines parsed" cut)
+            complete (List.length spans);
+          (match damage with
+          | None ->
+            Alcotest.(check bool)
+              (Printf.sprintf "cut %d: damage reported iff partial" cut)
+              false partial
+          | Some (lineno, _) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "cut %d: damage reported iff partial" cut)
+              true partial;
+            Alcotest.(check int)
+              (Printf.sprintf "cut %d: damage line number" cut)
+              (complete + 1) lineno)
+      done)
 
 (* ---- logger --------------------------------------------------------- *)
 
@@ -263,5 +332,7 @@ let suite =
     Alcotest.test_case "parser rejects garbage" `Quick
       test_parse_rejects_garbage;
     Alcotest.test_case "parse_file round-trip" `Quick test_parse_file;
+    Alcotest.test_case "parse_file torn at every offset" `Quick
+      test_parse_file_torn;
     Alcotest.test_case "log levels" `Quick test_log_levels;
   ]
