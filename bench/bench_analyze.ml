@@ -11,6 +11,7 @@ open Tse_core
 open Tse_workload
 module Metrics = Tse_obs.Metrics
 module Analysis = Tse_analysis.Analysis
+module Lens = Tse_analysis.Lens
 
 let time_ns_per_op f ~ops =
   let best = ref infinity in
@@ -26,6 +27,8 @@ type schema_row = {
   classes : int;
   virtuals : int;
   analyze_ns : float;
+  lens_ns : float;
+  lens_entries : int;
   sr_classes_checked : int;
   sr_exprs : int;
   sr_errors : int;
@@ -44,10 +47,23 @@ let measure_schema ~reps (classes, virtuals) =
         done)
       ~ops:reps
   in
+  (* the lens pass alone: Analysis.analyze already includes it, but the
+     standalone number shows what the translatability verdicts cost on
+     top of expression typechecking *)
+  let lens_ns =
+    time_ns_per_op
+      (fun () ->
+        for _ = 1 to reps do
+          ignore (Lens.analyze g)
+        done)
+      ~ops:reps
+  in
   {
     classes;
     virtuals;
     analyze_ns;
+    lens_ns;
+    lens_entries = List.length report.Analysis.lens;
     sr_classes_checked = report.Analysis.classes_checked;
     sr_exprs = report.Analysis.exprs_checked;
     sr_errors = List.length (Analysis.errors report);
@@ -76,23 +92,55 @@ let gate_changes n =
              };
          ]))
 
-let measure_gate ~changes policy =
+(* The gate's own cost, measured directly: ns per Admission.admit call
+   on the same fixture and change mix the differential measurement
+   uses. The differential (enforce minus off over the full pipeline)
+   has a noise floor of several percent — each change costs ~400ms of
+   translator work, so GC and scheduler jitter swamp a microsecond
+   gate — which is why the <1% claim is enforced on this direct
+   number against the measured per-change pipeline cost. *)
+let measure_gate_direct ~changes =
   let u = University.build () in
   ignore (University.populate u ~n:12);
   let tsem = Tsem.of_database u.db in
-  ignore
-    (Tsem.define_view_by_names tsem ~name:"V"
-       [ "Person"; "Student"; "Staff"; "TeachingStaff"; "SupportStaff";
-         "TA"; "Grad"; "Grader" ]);
-  Admission.set_policy policy;
+  let view =
+    Tsem.define_view_by_names tsem ~name:"V"
+      [ "Person"; "Student"; "Staff"; "TeachingStaff"; "SupportStaff";
+        "TA"; "Grad"; "Grader" ]
+  in
+  Admission.set_policy Admission.Enforce;
   let cs = gate_changes changes in
+  let db = Tsem.db tsem in
   let ops = List.length cs in
-  let t0 = Unix.gettimeofday () in
-  List.iter (fun c -> ignore (Tsem.evolve tsem ~view:"V" c)) cs;
-  let dt = Unix.gettimeofday () -. t0 in
-  dt *. 1e9 /. float_of_int ops
+  time_ns_per_op
+    (fun () -> List.iter (fun c -> Admission.admit db view c) cs)
+    ~ops
 
-let json_of rows ~smoke ~gate_changes ~off_ns ~enforce_ns =
+let measure_gate ~changes policy =
+  (* best of 3 fresh fixtures: a single pass over the pipeline is noisy
+     enough (GC, page cache) to swamp the gate's microsecond-scale cost,
+     and the <1%-overhead claim needs the noise floor below the claim *)
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let u = University.build () in
+    ignore (University.populate u ~n:12);
+    let tsem = Tsem.of_database u.db in
+    ignore
+      (Tsem.define_view_by_names tsem ~name:"V"
+         [ "Person"; "Student"; "Staff"; "TeachingStaff"; "SupportStaff";
+           "TA"; "Grad"; "Grader" ]);
+    Admission.set_policy policy;
+    let cs = gate_changes changes in
+    let ops = List.length cs in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun c -> ignore (Tsem.evolve tsem ~view:"V" c)) cs;
+    let dt = Unix.gettimeofday () -. t0 in
+    let ns = dt *. 1e9 /. float_of_int ops in
+    if ns < !best then best := ns
+  done;
+  !best
+
+let json_of rows ~smoke ~gate_changes ~off_ns ~enforce_ns ~gate_ns =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Printf.bprintf b "  \"benchmark\": \"analyze\",\n";
@@ -105,18 +153,21 @@ let json_of rows ~smoke ~gate_changes ~off_ns ~enforce_ns =
     (fun i r ->
       Printf.bprintf b
         "    {\"classes\": %d, \"virtuals\": %d, \"analyze_ns\": %.1f, \
-         \"classes_checked\": %d, \"exprs_checked\": %d, \"errors\": %d, \
-         \"warnings\": %d}%s\n"
-        r.classes r.virtuals r.analyze_ns r.sr_classes_checked r.sr_exprs
-        r.sr_errors r.sr_warnings
+         \"lens_ns\": %.1f, \"lens_entries\": %d, \"classes_checked\": %d, \
+         \"exprs_checked\": %d, \"errors\": %d, \"warnings\": %d}%s\n"
+        r.classes r.virtuals r.analyze_ns r.lens_ns r.lens_entries
+        r.sr_classes_checked r.sr_exprs r.sr_errors r.sr_warnings
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string b "  ],\n";
   Printf.bprintf b
     "  \"gate\": {\"changes\": %d, \"off_ns_per_change\": %.1f, \
-     \"enforce_ns_per_change\": %.1f, \"overhead_pct\": %.2f},\n"
+     \"enforce_ns_per_change\": %.1f, \"overhead_pct\": %.2f, \
+     \"gate_ns_per_change\": %.1f, \"overhead_pct_direct\": %.4f},\n"
     gate_changes off_ns enforce_ns
-    (100. *. (enforce_ns -. off_ns) /. off_ns);
+    (100. *. (enforce_ns -. off_ns) /. off_ns)
+    gate_ns
+    (100. *. gate_ns /. off_ns);
   Printf.bprintf b "  \"metrics\": {\n";
   Printf.bprintf b "    \"gate_checks\": %d,\n"
     (Metrics.find_counter "analysis.gate_checks");
@@ -140,21 +191,24 @@ let run ~smoke () =
   List.iter
     (fun r ->
       Printf.printf
-        "  classes=%3d virtuals=%3d  analyze %10.1f ns/op  (%d classes, %d \
-         exprs, %d errors, %d warnings)\n"
-        r.classes r.virtuals r.analyze_ns r.sr_classes_checked r.sr_exprs
-        r.sr_errors r.sr_warnings)
+        "  classes=%3d virtuals=%3d  analyze %10.1f ns/op  lens %10.1f \
+         ns/op (%d entries)  (%d classes, %d exprs, %d errors, %d warnings)\n"
+        r.classes r.virtuals r.analyze_ns r.lens_ns r.lens_entries
+        r.sr_classes_checked r.sr_exprs r.sr_errors r.sr_warnings)
     rows;
   let changes = if smoke then 10 else 60 in
   let off_ns = measure_gate ~changes Admission.Off in
   let enforce_ns = measure_gate ~changes Admission.Enforce in
+  let gate_ns = measure_gate_direct ~changes in
   let overhead = 100. *. (enforce_ns -. off_ns) /. off_ns in
+  let overhead_direct = 100. *. gate_ns /. off_ns in
   Printf.printf
     "admission gate: %d changes/side  off %.1f ns/change  enforce %.1f \
-     ns/change  overhead %.2f%%\n"
-    (2 * changes) off_ns enforce_ns overhead;
+     ns/change  differential %.2f%%  gate alone %.1f ns/change = %.4f%%\n"
+    (2 * changes) off_ns enforce_ns overhead gate_ns overhead_direct;
   let json =
     json_of rows ~smoke ~gate_changes:(2 * changes) ~off_ns ~enforce_ns
+      ~gate_ns
   in
   let oc = open_out "BENCH_analyze.json" in
   output_string oc json;
@@ -170,7 +224,7 @@ let run ~smoke () =
         exit 1
       end)
     rows;
-  if (not smoke) && overhead > 25.0 then begin
-    Printf.printf "FAIL: admission-gate overhead above 25%% per change\n";
+  if (not smoke) && overhead_direct > 1.0 then begin
+    Printf.printf "FAIL: admission-gate overhead above 1%% per change\n";
     exit 1
   end

@@ -468,6 +468,13 @@ let run_line s line =
   | exception Tse_update.Generic.Rejected m ->
     s.last_error <- Some m;
     Printf.printf "update rejected: %s\n" m
+  | exception Expr.Type_error m ->
+    s.last_error <- Some m;
+    Printf.printf "type error: %s\n" m
+  | exception Expr.Unknown_property p ->
+    let m = Printf.sprintf "unknown property %s" p in
+    s.last_error <- Some m;
+    Printf.printf "error: %s\n" m
   | exception Tse_algebra.Ops.Error m ->
     s.last_error <- Some m;
     Printf.printf "algebra error: %s\n" m
@@ -542,7 +549,7 @@ let checkpoint dir =
 
 (* ---------------- chaos soak ---------------- *)
 
-let soak dir steps crashes seed out =
+let soak dir steps crashes seed out save_catalog =
   let dir =
     match dir with
     | Some d -> d
@@ -563,6 +570,18 @@ let soak dir steps crashes seed out =
     output_string oc (Tse_workload.Soak.to_json cfg o);
     close_out oc;
     Printf.printf "wrote %s\n" path);
+  (match save_catalog with
+  | None -> ()
+  | Some path ->
+    (* re-open the survivor and export it as a portable catalog, so the
+       soak-evolved schema can be fed back through [lint --catalog] *)
+    let t, _ = Tse_core.Durable_tse.open_dir ~dir () in
+    Catalog.save
+      ~history:(Tse_core.Durable_tse.history t)
+      (Tse_core.Durable_tse.db t)
+      path;
+    Tse_core.Durable_tse.close t;
+    Printf.printf "catalog written to %s\n" path);
   if o.Tse_workload.Soak.violations <> [] then exit 1
 
 (* ---------------- live telemetry ---------------- *)
@@ -780,6 +799,17 @@ let soak_out_arg =
   let doc = "Write the BENCH_scenarios.json document to this path." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH" ~doc)
 
+let soak_save_catalog_arg =
+  let doc =
+    "After the soak, save the surviving database (schema + objects + \
+     view history) as a catalog at this path, suitable for \
+     $(b,lint --catalog)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-catalog" ] ~docv:"PATH" ~doc)
+
 let soak_cmd =
   Cmd.v
     (Cmd.info "soak"
@@ -792,7 +822,7 @@ let soak_cmd =
           violation.")
     Term.(
       const soak $ soak_dir_arg $ soak_steps_arg $ soak_crashes_arg
-      $ soak_seed_arg $ soak_out_arg)
+      $ soak_seed_arg $ soak_out_arg $ soak_save_catalog_arg)
 
 let addr_arg =
   let doc =

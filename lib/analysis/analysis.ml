@@ -18,6 +18,7 @@ let derivation_capacity = function
 type report = {
   diagnostics : Diagnostic.t list;
   facts : (string * capacity) list;
+  lens : Lens.entry list;
   classes_checked : int;
   exprs_checked : int;
 }
@@ -120,6 +121,7 @@ let analyze g =
     diagnostics = List.sort_uniq Diagnostic.compare !diags;
     facts =
       List.sort (fun (a, _) (b, _) -> String.compare a b) !facts;
+    lens = Lens.analyze g;
     classes_checked = List.length classes;
     exprs_checked = !exprs;
   }
@@ -135,6 +137,7 @@ let pp_report ppf r =
       Format.fprintf ppf "fact [%s]: capacity-%s derivation@." cls
         (capacity_to_string cap))
     r.facts;
+  List.iter (fun e -> Format.fprintf ppf "%a@." Lens.pp_entry e) r.lens;
   Format.fprintf ppf "%d errors, %d warnings (%d classes, %d expressions)@."
     (List.length (errors r))
     (List.length (warnings r))
@@ -161,5 +164,11 @@ let report_to_json r =
       Printf.bprintf buf "{\"class\":\"%s\",\"capacity\":\"%s\"}" (esc cls)
         (capacity_to_string cap))
     r.facts;
+  Buffer.add_string buf "],\"lens\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Lens.entry_to_json e))
+    r.lens;
   Buffer.add_string buf "]}";
   Buffer.contents buf

@@ -27,6 +27,13 @@ type report = {
   diagnostics : Diagnostic.t list;  (** sorted with {!Diagnostic.compare} *)
   facts : (string * capacity) list;
       (** virtual class name -> capacity classification, sorted by name *)
+  lens : Lens.entry list;
+      (** per-derived-class translatability verdicts ({!Lens.analyze}).
+          Like capacity, these are verdict {e facts} about the view, not
+          schema defects: a conditional or rejected verdict does not make
+          the schema ill-formed and does not appear in [diagnostics] —
+          the admission gate is what turns an [E12x] verdict on a
+          {e proposed} evolution into a rejection. *)
   classes_checked : int;
   exprs_checked : int;  (** method bodies + select predicates visited *)
 }
@@ -44,9 +51,9 @@ val method_cycles : Schema_graph.t -> string list list
     sorted list of the method names involved. *)
 
 val pp_report : Format.formatter -> report -> unit
-(** Diagnostics one per line, then capacity facts, then a summary
-    line. *)
+(** Diagnostics one per line, then capacity facts, then lens verdicts,
+    then a summary line. *)
 
 val report_to_json : report -> string
 (** One JSON object: error/warning counts, the work counters, the
-    diagnostics array and the facts array. *)
+    diagnostics array, the facts array and the lens verdict array. *)

@@ -35,8 +35,17 @@ val is_info : t -> bool
 val severity_to_string : severity -> string
 
 val compare : t -> t -> int
-(** Errors before warnings before infos; then by code, class, property,
-    message — a stable report order. *)
+(** Subject-first: by (class, property), then code, then severity, then
+    message — a stable report order that groups a class's findings
+    together and is byte-identical across emission orders (hashtable
+    iteration, TSE_DOMAINS sharding). *)
+
+val declared_codes : (string * string) list
+(** The closed registry of every stable diagnostic code with a one-line
+    description: [E1xx] errors (E101–E112 typing/structure, E120–E123
+    lens violations) and [W2xx] warnings (W201/W202 predicate facts,
+    W210–W213 conditional lens verdicts). The exhaustiveness test
+    asserts every declared code is produced by at least one check. *)
 
 val pp : Format.formatter -> t -> unit
 (** One line: [error E101 [Class.prop]: message]. *)

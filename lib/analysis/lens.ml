@@ -1,0 +1,451 @@
+open Tse_store
+open Tse_schema
+
+type update = Create | Delete | Add | Remove | Set of string
+
+type verdict =
+  | Translatable
+  | Conditional of Expr.t
+  | Rejected of string
+
+type entry = {
+  cls : string;
+  operator : string;
+  update : update;
+  verdict : verdict;
+  diag : Diagnostic.t option;
+}
+
+let operator_name = function
+  | Klass.Select _ -> "select"
+  | Klass.Hide _ -> "hide"
+  | Klass.Refine _ -> "refine"
+  | Klass.Refine_from _ -> "refine_from"
+  | Klass.Union _ -> "union"
+  | Klass.Intersect _ -> "intersect"
+  | Klass.Difference _ -> "difference"
+
+let update_to_string = function
+  | Create -> "create"
+  | Delete -> "delete"
+  | Add -> "add"
+  | Remove -> "remove"
+  | Set a -> "set " ^ a
+
+let verdict_to_string = function
+  | Translatable -> "translatable"
+  | Conditional e -> Printf.sprintf "conditional on %s" (Expr.to_string e)
+  | Rejected code -> Printf.sprintf "rejected (%s)" code
+
+(* ---------------- membership reads ---------------- *)
+
+(* The attribute names an expression transitively reads when resolved at
+   class [at]: derived-method bodies are expanded (cycles guarded by
+   [seen_meth]; Analysis reports those as E111 separately) and [In_class]
+   references pull in the referenced class's own membership reads. *)
+let rec expr_reads g ~seen_cls ~seen_meth ~out at e =
+  List.iter
+    (fun name ->
+      match Type_info.find g at name with
+      | Some (Type_info.Single { Prop.body = Prop.Method body; _ }) ->
+          if not (Hashtbl.mem seen_meth (at, name)) then begin
+            Hashtbl.add seen_meth (at, name) ();
+            expr_reads g ~seen_cls ~seen_meth ~out at body
+          end
+      | Some (Type_info.Single _) | Some (Type_info.Conflict _) | None ->
+          out := name :: !out)
+    (Expr.free_attrs e);
+  List.iter
+    (fun cname ->
+      match Schema_graph.find_by_name g cname with
+      | Some k -> class_reads g ~seen_cls ~seen_meth ~out k.Klass.cid
+      | None -> ())
+    (Expr.referenced_classes e)
+
+and class_reads g ~seen_cls ~seen_meth ~out cid =
+  if not (Oid.Set.mem cid !seen_cls) then begin
+    seen_cls := Oid.Set.add cid !seen_cls;
+    match Schema_graph.find g cid with
+    | None -> ()
+    | Some k -> begin
+        match k.Klass.kind with
+        | Klass.Base -> ()
+        | Klass.Virtual d -> begin
+            match d with
+            | Klass.Select (src, pred) ->
+                expr_reads g ~seen_cls ~seen_meth ~out src pred;
+                class_reads g ~seen_cls ~seen_meth ~out src
+            | Klass.Hide (_, src) | Klass.Refine (_, src) ->
+                class_reads g ~seen_cls ~seen_meth ~out src
+            | Klass.Refine_from { target; _ } ->
+                class_reads g ~seen_cls ~seen_meth ~out target
+            | Klass.Union (a, b)
+            | Klass.Intersect (a, b)
+            | Klass.Difference (a, b) ->
+                class_reads g ~seen_cls ~seen_meth ~out a;
+                class_reads g ~seen_cls ~seen_meth ~out b
+          end
+      end
+  end
+
+let membership_reads g cid =
+  let out = ref [] in
+  class_reads g
+    ~seen_cls:(ref Oid.Set.empty)
+    ~seen_meth:(Hashtbl.create 8)
+    ~out cid;
+  List.sort_uniq String.compare !out
+
+(* Reads of one predicate resolved at [src], same expansion rules. *)
+let predicate_reads g src pred =
+  let out = ref [] in
+  expr_reads g
+    ~seen_cls:(ref Oid.Set.empty)
+    ~seen_meth:(Hashtbl.create 8)
+    ~out src pred;
+  List.sort_uniq String.compare !out
+
+(* ---------------- classification ---------------- *)
+
+exception Reject of string * string  (** code, message *)
+
+(* Accumulated (code, side-condition) pairs, outermost operator first;
+   duplicate conditions (the same predicate met along two derivation
+   paths) are kept once. *)
+let add_cond acc code cond =
+  if List.exists (fun (_, c) -> Expr.equal c cond) acc then acc
+  else acc @ [ (code, cond) ]
+
+let const_false pred =
+  match Typecheck.const_eval pred with
+  | Some (Value.Bool false) | Some Value.Null -> true
+  | _ -> false
+
+let const_true pred =
+  match Typecheck.const_eval pred with
+  | Some (Value.Bool true) -> true
+  | _ -> false
+
+let hidden_required g src name =
+  match Type_info.find g src name with
+  | Some (Type_info.Single p) -> begin
+      match p.Prop.body with
+      | Prop.Stored { required = true; default; _ } ->
+          Value.equal default Value.Null
+      | Prop.Stored _ | Prop.Method _ -> false
+    end
+  | Some (Type_info.Conflict ps) ->
+      List.exists
+        (fun (p : Prop.t) ->
+          match p.Prop.body with
+          | Prop.Stored { required = true; default; _ } ->
+              Value.equal default Value.Null
+          | _ -> false)
+        ps
+  | None -> false
+
+(* create/add walk: which side-conditions must the post-state object
+   satisfy for the membership put to round-trip? [creating] additionally
+   enforces initialisability (E120/E121). *)
+(* Missing classes (dangling sources, E110) end the walk: Analysis
+   already reports them as errors, the lens verdict stays best-effort. *)
+let kind_of g cid =
+  match Schema_graph.find g cid with
+  | None -> Klass.Base
+  | Some k -> k.Klass.kind
+
+let rec member_walk g ~creating cid acc seen =
+  if Oid.Set.mem cid seen then acc
+  else
+    let seen = Oid.Set.add cid seen in
+    match kind_of g cid with
+    | Klass.Base -> acc
+    | Klass.Virtual d -> begin
+        match d with
+        | Klass.Select (src, pred) ->
+            if const_false pred then
+              Reject
+                ( "E123",
+                  "select predicate is constantly false: the extent is \
+                   provably empty, no update can land in the view" )
+              |> raise;
+            let acc =
+              if const_true pred then acc else add_cond acc "W210" pred
+            in
+            member_walk g ~creating src acc seen
+        | Klass.Hide (names, src) ->
+            if creating then
+              List.iter
+                (fun n ->
+                  if hidden_required g src n then
+                    Reject
+                      ( "E120",
+                        Printf.sprintf
+                          "hidden attribute %s is required and has no \
+                           default: a create through this view cannot \
+                           initialise it"
+                          n )
+                    |> raise)
+                names;
+            member_walk g ~creating src acc seen
+        | Klass.Refine (_, src) -> member_walk g ~creating src acc seen
+        | Klass.Refine_from { target; _ } ->
+            member_walk g ~creating target acc seen
+        | Klass.Union (a, _) ->
+            (* the put targets the first operand (paper Section 6.5.4,
+               Generic.Policy.union_target = First) *)
+            let acc =
+              add_cond acc "W212" (Expr.In_class (Schema_graph.name_of g a))
+            in
+            member_walk g ~creating a acc seen
+        | Klass.Intersect (a, b) ->
+            let acc = member_walk g ~creating a acc seen in
+            member_walk g ~creating b acc seen
+        | Klass.Difference (a, b) ->
+            if Schema_graph.is_ancestor_or_self g ~anc:b ~desc:a then
+              Reject
+                ( "E122",
+                  "difference is statically empty (subtrahend is an \
+                   ancestor of the minuend): every put is undone by get" )
+              |> raise;
+            let acc =
+              add_cond acc "W213"
+                (Expr.Not (Expr.In_class (Schema_graph.name_of g b)))
+            in
+            member_walk g ~creating a acc seen
+      end
+
+(* set walk: does writing [name] risk moving the object across the view
+   boundary (W211), or write state the view can never read back (E120)? *)
+let rec set_walk g ~name cid acc seen =
+  if Oid.Set.mem cid seen then acc
+  else
+    let seen = Oid.Set.add cid seen in
+    match kind_of g cid with
+    | Klass.Base -> acc
+    | Klass.Virtual d -> begin
+        match d with
+        | Klass.Select (src, pred) ->
+            if const_false pred then
+              Reject
+                ( "E123",
+                  "select predicate is constantly false: the extent is \
+                   provably empty, no update can land in the view" )
+              |> raise;
+            let acc =
+              if
+                (not (const_true pred))
+                && List.mem name (predicate_reads g src pred)
+              then add_cond acc "W211" pred
+              else acc
+            in
+            set_walk g ~name src acc seen
+        | Klass.Hide (names, src) ->
+            if List.mem name names then
+              Reject
+                ( "E120",
+                  Printf.sprintf
+                    "attribute %s is hidden by this view: a value written \
+                     through the view could never be read back (PutGet is \
+                     unsatisfiable)"
+                    name )
+              |> raise;
+            set_walk g ~name src acc seen
+        | Klass.Refine (_, src) -> set_walk g ~name src acc seen
+        | Klass.Refine_from { target; _ } -> set_walk g ~name target acc seen
+        | Klass.Union (a, b) | Klass.Intersect (a, b) ->
+            let acc = set_walk g ~name a acc seen in
+            set_walk g ~name b acc seen
+        | Klass.Difference (a, b) ->
+            let acc = set_walk g ~name a acc seen in
+            if List.mem name (membership_reads g b) then
+              add_cond acc "W211"
+                (Expr.Not (Expr.In_class (Schema_graph.name_of g b)))
+            else acc
+      end
+
+let conflicting_stored g cid =
+  List.find_map
+    (fun (n, e) ->
+      match e with
+      | Type_info.Conflict ps
+        when List.exists (fun (p : Prop.t) -> Prop.is_stored p) ps ->
+          Some n
+      | _ -> None)
+    (Type_info.full_type g cid)
+
+let classify_raw g cid update =
+  match kind_of g cid with
+  | Klass.Base -> (Translatable, None)
+  | Klass.Virtual _ -> begin
+      let conds =
+        try
+          match update with
+          | Delete | Remove ->
+              (* delete propagates to the object itself; remove strips the
+                 origin-base memberships the derivation chain depends on —
+                 both always leave the view (Generic.remove_targets) *)
+              Ok []
+          | Create -> begin
+              match conflicting_stored g cid with
+              | Some n ->
+                  Error
+                    ( "E121",
+                      Printf.sprintf
+                        "attribute name %s is ambiguous on this view (two \
+                         distinct same-named properties): no initialiser \
+                         can target it"
+                        n )
+              | None ->
+                  Ok (member_walk g ~creating:true cid [] Oid.Set.empty)
+            end
+          | Add -> Ok (member_walk g ~creating:false cid [] Oid.Set.empty)
+          | Set name -> begin
+              match Type_info.find g cid name with
+              | Some (Type_info.Conflict _) ->
+                  Error
+                    ( "E121",
+                      Printf.sprintf
+                        "attribute name %s is ambiguous on this view: an \
+                         assignment cannot target it"
+                        name )
+              | Some (Type_info.Single _) | None ->
+                  Ok (set_walk g ~name cid [] Oid.Set.empty)
+            end
+        with Reject (code, msg) -> Error (code, msg)
+      in
+      let cls = Schema_graph.name_of g cid in
+      let prop = match update with Set a -> Some a | _ -> None in
+      match conds with
+      | Error (code, msg) ->
+          ( Rejected code,
+            Some
+              (Diagnostic.makef ~cls ?prop Diagnostic.Error ~code "%s (%s)"
+                 msg (update_to_string update)) )
+      | Ok [] -> (Translatable, None)
+      | Ok ((code0, _) :: _ as conds) ->
+          let side =
+            match List.map snd conds with
+            | [ c ] -> c
+            | c :: rest -> List.fold_left (fun a b -> Expr.And (a, b)) c rest
+            | [] -> assert false
+          in
+          ( Conditional side,
+            Some
+              (Diagnostic.makef ~cls ?prop Diagnostic.Warning ~code:code0
+                 "%s is conditionally translatable: requires %s"
+                 (update_to_string update)
+                 (Expr.to_string side)) )
+    end
+
+let classify g cid update = fst (classify_raw g cid update)
+
+(* hidden attribute names anywhere in the derivation closure *)
+let hidden_names g cid =
+  let out = ref [] in
+  let rec go seen c =
+    if Oid.Set.mem c seen then ()
+    else
+      let seen = Oid.Set.add c seen in
+      match kind_of g c with
+      | Klass.Base -> ()
+      | Klass.Virtual d -> begin
+          match d with
+          | Klass.Select (s, _) | Klass.Refine (_, s) -> go seen s
+          | Klass.Hide (names, s) ->
+              out := names @ !out;
+              go seen s
+          | Klass.Refine_from { target; _ } -> go seen target
+          | Klass.Union (a, b)
+          | Klass.Intersect (a, b)
+          | Klass.Difference (a, b) ->
+              go seen a;
+              go seen b
+        end
+  in
+  go Oid.Set.empty cid;
+  List.sort_uniq String.compare !out
+
+let update_rank = function
+  | Create -> 0
+  | Delete -> 1
+  | Add -> 2
+  | Remove -> 3
+  | Set _ -> 4
+
+let compare_update a b =
+  let c = Int.compare (update_rank a) (update_rank b) in
+  if c <> 0 then c
+  else
+    match (a, b) with
+    | Set x, Set y -> String.compare x y
+    | _ -> 0
+
+let class_entries g cid =
+  match kind_of g cid with
+  | Klass.Base -> []
+  | Klass.Virtual d ->
+      let cls = Schema_graph.name_of g cid in
+      let operator = operator_name d in
+      let entry update =
+        let verdict, diag = classify_raw g cid update in
+        { cls; operator; update; verdict; diag }
+      in
+      let membership = List.map entry [ Create; Delete; Add; Remove ] in
+      let set_candidates =
+        List.sort_uniq String.compare
+          (membership_reads g cid @ hidden_names g cid)
+      in
+      let sets =
+        List.filter_map
+          (fun a ->
+            let e = entry (Set a) in
+            match e.verdict with Translatable -> None | _ -> Some e)
+          set_candidates
+      in
+      membership @ sets
+
+let analyze g =
+  Schema_graph.classes g
+  |> List.filter (fun k -> k.Klass.kind <> Klass.Base)
+  |> List.sort (fun a b -> String.compare a.Klass.name b.Klass.name)
+  |> List.concat_map (fun k -> class_entries g k.Klass.cid)
+  |> List.sort (fun a b ->
+         let c = String.compare a.cls b.cls in
+         if c <> 0 then c else compare_update a.update b.update)
+
+let diagnostics entries =
+  List.filter_map (fun e -> e.diag) entries
+  |> List.sort_uniq Diagnostic.compare
+
+let pp_entry ppf e =
+  Format.fprintf ppf "lens [%s]: %s %s" e.cls (update_to_string e.update)
+    (verdict_to_string e.verdict);
+  match (e.verdict, e.diag) with
+  | Rejected code, Some d when String.equal code d.Diagnostic.code ->
+      () (* the rejected verdict already renders its code *)
+  | _, Some d -> Format.fprintf ppf " (%s)" d.Diagnostic.code
+  | _, None -> ()
+
+let entry_to_json e =
+  let esc = Tse_obs.Metrics.json_escape in
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf
+    "{\"class\":\"%s\",\"operator\":\"%s\",\"update\":\"%s\",\"verdict\":\"%s\""
+    (esc e.cls) (esc e.operator)
+    (esc (update_to_string e.update))
+    (match e.verdict with
+    | Translatable -> "translatable"
+    | Conditional _ -> "conditional"
+    | Rejected _ -> "rejected");
+  (match e.verdict with
+  | Conditional c ->
+      Printf.bprintf buf ",\"condition\":\"%s\"" (esc (Expr.to_string c))
+  | Rejected code -> Printf.bprintf buf ",\"code\":\"%s\"" (esc code)
+  | Translatable -> ());
+  (match e.diag with
+  | Some d when e.verdict <> Rejected d.Diagnostic.code ->
+      Printf.bprintf buf ",\"code\":\"%s\"" (esc d.Diagnostic.code)
+  | _ -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,112 @@
+(** Static lens-law analyzer for view updates.
+
+    A derived class is a lens over its source(s): the derivation is
+    [get] (membership + visible type), and update propagation through
+    {!Tse_update.Generic} is [put]. This pass classifies, per derived
+    class and per update kind, whether the put is well-behaved — i.e.
+    whether GetPut/PutGet can be guaranteed statically:
+
+    - {b Translatable}: the update always round-trips; [put] then [get]
+      shows exactly the written state, for every object and every store.
+    - {b Conditionally translatable}: the update round-trips exactly
+      when a side-condition — returned as an {!Tse_schema.Expr.t}
+      predicate over the {e post-update} object — holds. Typical case: a
+      create through a [select] view lands in the view iff the new
+      object satisfies the select predicate (W210).
+    - {b Rejected}: no put can satisfy the laws (or the class is
+      statically uninhabitable), with a stable [E12x] diagnostic code.
+
+    Verdicts are {e transitive}: a class derived by [intersect] over two
+    [select]s inherits both select conditions, because membership is
+    decided by the whole derivation chain down to the base classes. The
+    principal-source chain used here is the same [version_lineage]
+    notion the translator uses for delete_edge blocking (DESIGN.md §15).
+
+    Diagnostic codes (stable; see {!Diagnostic.declared_codes}):
+    - [E120] — update through [hide] touches a hidden property: a create
+      cannot initialise a required, default-less hidden stored attribute,
+      and a set of a hidden attribute can never be read back through the
+      view (PutGet is unsatisfiable).
+    - [E121] — create through [intersect] whose full type has a
+      name conflict (two same-named properties with distinct
+      identities): no initialiser can name the property unambiguously.
+    - [E122] — update through a statically empty [difference] (the
+      subtrahend is an ancestor-or-self of the minuend): every put is
+      immediately undone by get.
+    - [E123] — update through a [select] whose predicate constant-folds
+      to false/null: the extent is provably empty, PutGet cannot hold.
+    - [W210] — create/add through [select]: conditional on the
+      predicate holding on the post-state.
+    - [W211] — set of an attribute (transitively) read by a membership
+      predicate: conditional on the object still satisfying the
+      predicate after the write.
+    - [W212] — create/add through [union]: the runtime targets the
+      first operand (paper §6.5.4 / {!Tse_update.Generic.Policy});
+      conditional on first-operand membership.
+    - [W213] — create/add through [difference]: conditional on the
+      object staying out of the subtrahend. *)
+
+open Tse_schema
+
+(** The update kinds {!Tse_update.Generic} can put through a view. *)
+type update =
+  | Create  (** create a new object through the class *)
+  | Delete  (** delete an object outright *)
+  | Add  (** add an existing object to the class's extent *)
+  | Remove  (** remove an object from the class's extent *)
+  | Set of string  (** assign the named stored attribute *)
+
+type verdict =
+  | Translatable
+  | Conditional of Expr.t
+      (** side-condition over the post-update object state; the update
+          round-trips iff it evaluates true *)
+  | Rejected of string  (** the [E12x] code explaining why *)
+
+type entry = {
+  cls : string;
+  operator : string;  (** outermost derivation operator, or ["base"] *)
+  update : update;
+  verdict : verdict;
+  diag : Diagnostic.t option;
+      (** the [E12x]/[W21x] diagnostic behind a non-Translatable
+          verdict; [None] when Translatable *)
+}
+
+val operator_name : Klass.derivation -> string
+(** ["select" | "hide" | "refine" | "refine_from" | "union" |
+    "intersect" | "difference"]. *)
+
+val update_to_string : update -> string
+(** ["create" | "delete" | "add" | "remove" | "set a"]. *)
+
+val verdict_to_string : verdict -> string
+
+val membership_reads : Schema_graph.t -> Klass.cid -> string list
+(** Attribute names the class's membership transitively depends on:
+    free attributes of every select predicate in the derivation
+    closure, with derived-method bodies and [In_class] references
+    expanded. Sorted, duplicate-free. Setting one of these can move the
+    object across the view boundary (W211). *)
+
+val classify : Schema_graph.t -> Klass.cid -> update -> verdict
+(** The verdict for one update kind against one class. Base classes are
+    always [Translatable] (the identity lens). *)
+
+val class_entries : Schema_graph.t -> Klass.cid -> entry list
+(** All interesting entries for one derived class: [Create], [Delete],
+    [Add], [Remove], plus [Set a] for every attribute that is
+    membership-read or hidden somewhere in the derivation chain.
+    Translatable [Set] entries are omitted; the four membership updates
+    are always present. Empty for base classes. *)
+
+val analyze : Schema_graph.t -> entry list
+(** {!class_entries} over every virtual class, sorted by (class name,
+    update kind) — deterministic across graph construction orders. *)
+
+val diagnostics : entry list -> Diagnostic.t list
+(** The deduplicated diagnostics carried by the entries, sorted with
+    {!Diagnostic.compare}. *)
+
+val entry_to_json : entry -> string
+val pp_entry : Format.formatter -> entry -> unit

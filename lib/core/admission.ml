@@ -46,11 +46,39 @@ let check db view change =
       | None -> []
       | Some cid -> Typecheck.check_method graph cid ~cls ~prop:method_name body
       )
-  | Change.Partition_class { cls; predicate; _ } -> (
+  | Change.Partition_class { cls; predicate; into_true; into_false } -> (
       match resolve cls with
       | None -> []
       | Some cid ->
-          Typecheck.check_predicate graph cid ~cls ~prop:"partition" predicate)
+          let typing =
+            Typecheck.check_predicate graph cid ~cls ~prop:"partition"
+              predicate
+          in
+          (* lens verdict on the would-be select halves: a constant
+             predicate makes one partition a statically empty view no
+             update could ever land in (Lens E123) *)
+          let empty_half name pred =
+            match Typecheck.const_eval pred with
+            | Some (Tse_store.Value.Bool false) | Some Tse_store.Value.Null ->
+                [
+                  Diagnostic.makef ~cls:name Diagnostic.Error ~code:"E123"
+                    "partition predicate is constantly false: %s would be a \
+                     statically empty view (no create/add/set can ever land \
+                     in it)"
+                    name;
+                ]
+            | _ -> []
+          in
+          typing
+          @ empty_half into_true predicate
+          @ empty_half into_false (Tse_schema.Expr.Not predicate))
+  | Change.Coalesce_classes { a; b = _; as_name } ->
+      [
+        Diagnostic.makef ~cls:as_name Diagnostic.Warning ~code:"W212"
+          "create/add through the coalesced union targets its first operand \
+           %s (Section 6.5.4); membership in %s is the side-condition"
+          a a;
+      ]
   | Change.Add_attribute { cls; def } ->
       if Tse_store.Value.conforms def.Change.default def.Change.ty then []
       else

@@ -108,8 +108,11 @@ let add_property db view ~cls_name ~prop_name ~mk_prop =
     List.iter
       (fun sub ->
         if mapped ctx sub = None then
-          if Klass.has_local_prop (Schema_graph.find_exn graph sub) prop_name
-          then () (* a local property overrides: propagation stops *)
+          if Type_info.has_prop graph sub prop_name then
+            (* a same-named property is already visible here — locally
+               defined or inherited along another path — and overrides:
+               propagation stops (Section 6.1.2) *)
+            ()
           else begin
             let sub' =
               Ops.refine_from db
@@ -297,16 +300,40 @@ let add_edge db view ~sup_name ~sub_name =
 (* 6.6: delete_edge                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Global descendant reachability that avoids one specific edge — the
+(* The class plus its principal-source chain: Select/Hide/Refine follow
+   their source, Refine_from its target, and the binary operators their
+   first operand — the thread along which the translator derives "the same
+   view class, one version earlier". *)
+let version_lineage graph cid =
+  let rec go acc c =
+    let acc = Oid.Set.add c acc in
+    match (Schema_graph.find_exn graph c).Klass.kind with
+    | Klass.Base -> acc
+    | Klass.Virtual d ->
+      let next =
+        match d with
+        | Klass.Select (s, _) | Klass.Hide (_, s) | Klass.Refine (_, s) -> s
+        | Klass.Refine_from { target; _ } -> target
+        | Klass.Union (a, _) | Klass.Intersect (a, _) | Klass.Difference (a, _)
+          -> a
+      in
+      if Oid.Set.mem next acc then acc else go acc next
+  in
+  go Oid.Set.empty cid
+
+(* Global descendant reachability that avoids the deleted edge — the
    "assuming the edge has been deleted" hypothetical of Section 6.6. It
    must run on the global graph, not on the generated view hierarchy:
    transitive reduction erases the redundant-but-vital direct edges of
-   Figure 11's diamond. Paths may not pass through [lineage] classes —
-   the derivation ancestors of the edge's subclass end. Those are earlier
-   versions of the same view class, so a path through them is the deleted
-   relationship itself wearing an older name, not "another is-a
-   relationship". *)
-let reaches_avoiding graph ~esup ~esub ~lineage a b =
+   Figure 11's diamond. An edge (x, y) is treated as deleted when x is a
+   version of the edge's superclass end and y a version of its subclass
+   end: such an edge is the deleted relationship itself, possibly wearing
+   an older name. Every other path — through another view class, or
+   through an unrelated global class outside the view — is a different
+   is-a relationship and stays open; the previous whole-source-lineage
+   exclusion wrongly closed those alternate routes, which is what the
+   Proposition B replays pinned. *)
+let reaches_avoiding graph ~esup ~esub ~blocked ~sub_versions a b =
   let seen = ref Oid.Set.empty in
   let rec go c =
     Oid.equal c b
@@ -314,7 +341,7 @@ let reaches_avoiding graph ~esup ~esub ~lineage a b =
          (fun d ->
            (not (Oid.equal c esup && Oid.equal d esub))
            && (not (Oid.Set.mem d !seen))
-           && ((not (Oid.Set.mem d lineage)) || Oid.equal d b)
+           && (not (Oid.Set.mem d sub_versions && Oid.Set.mem c blocked))
            &&
            (seen := Oid.Set.add d !seen;
             go d))
@@ -322,20 +349,12 @@ let reaches_avoiding graph ~esup ~esub ~lineage a b =
   in
   (not (Oid.equal a b)) && go a
 
-(* Transitive derivation sources of a class. *)
-let source_lineage graph cid =
-  let seen = ref Oid.Set.empty in
-  let rec go c =
-    List.iter
-      (fun s ->
-        if not (Oid.Set.mem s !seen) then begin
-          seen := Oid.Set.add s !seen;
-          go s
-        end)
-      (Klass.sources (Schema_graph.find_exn graph c))
-  in
-  go cid;
-  !seen
+(* The avoiding-reachability test for the deletion of view edge
+   (esup, esub), with the blocked version sets precomputed. *)
+let deleted_edge_avoiding graph ~esup ~esub =
+  let sub_versions = version_lineage graph esub in
+  let blocked = version_lineage graph esup in
+  reaches_avoiding graph ~esup ~esub ~blocked ~sub_versions
 
 (* Uppermost providers within the view of the property identified by
    [uid]: view classes exposing it with no view member above them doing
@@ -364,7 +383,7 @@ let view_providers graph view ~name ~uid =
    edge — no uppermost provider still reaches [w] once the edge is gone. *)
 let view_find_properties db view ~esup ~esub w =
   let graph = Database.graph db in
-  let lineage = source_lineage graph esub in
+  let avoiding = deleted_edge_avoiding graph ~esup ~esub in
   Type_info.full_type graph w
   |> List.filter_map (fun (name, entry) ->
          let candidates =
@@ -374,10 +393,7 @@ let view_find_properties db view ~esup ~esub w =
          in
          let survives (p : Prop.t) =
            let providers = view_providers graph view ~name ~uid:p.Prop.uid in
-           List.exists
-             (fun c ->
-               Oid.equal c w || reaches_avoiding graph ~esup ~esub ~lineage c w)
-             providers
+           List.exists (fun c -> Oid.equal c w || avoiding c w) providers
            (* a property with no in-view provider comes from outside the
               view (or is local): it cannot be lost by the edge *)
            || providers = []
@@ -406,10 +422,7 @@ let delete_edge db view ~sup_name ~sub_name ~connected_to =
   in
   (* phase A: superclasses of C_sup lose C_sub's instances, except those
      still visible through other paths (the commonSub correction) *)
-  let avoiding =
-    reaches_avoiding graph ~esup:csup ~esub:csub
-      ~lineage:(source_lineage graph csub)
-  in
+  let avoiding = deleted_edge_avoiding graph ~esup:csup ~esub:csub in
   let still_super_without_edge v = avoiding v csub in
   let common_sub_view v =
     let commons =

@@ -102,8 +102,22 @@ let create ?(policy = Policy.default) ?methods db cid ~init =
   let o =
     match bases with
     | first :: rest ->
-      let o = Database.create_object db first ~init in
+      (* all base memberships must exist before the init writes: a slot
+         carried by a refine slice or by a second origin base (intersect)
+         is only storable once the object is a member there *)
+      let o = Database.create_object db first ~init:[] in
       List.iter (fun b -> Database.add_base_membership db o b) rest;
+      (try List.iter (fun (n, v) -> Database.set_attr db o n v) init
+       with e ->
+         Database.destroy_object db o;
+         (match e with
+         | Expr.Unknown_property n ->
+           rejected
+             "attribute %s has no storable slot on the object created \
+              through %s (its membership predicate is not satisfied)"
+             n
+             (Schema_graph.name_of graph cid)
+         | e -> raise e));
       o
     | [] -> assert false
   in

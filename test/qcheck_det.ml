@@ -1,8 +1,8 @@
 (* Deterministic qcheck runs by default. An unset QCHECK_SEED means a
-   fresh random seed per run, which turns any rare counterexample into a
-   tier-1 flake (ROADMAP records one such open bug: ~0.3% of the
-   Proposition B property's generated seeds hit a pre-existing
-   delete_edge/derivation disagreement). Pin the default seed so
+   fresh random seed per run, which turns any rare counterexample into
+   a tier-1 flake (historically ~0.3% of the Proposition B property's
+   generated seeds hit the since-fixed delete_edge/derivation
+   disagreement — DESIGN.md §15). Pin the default seed so
    `dune runtest` is reproducible; set QCHECK_SEED to explore. *)
 
 let seed =

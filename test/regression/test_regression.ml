@@ -1,19 +1,35 @@
-(* Regression corpus for the known Proposition B / delete_edge bug
-   (ROADMAP "Known bugs"): the generator seeds below make the random
-   Proposition B property fail at the seed commit. Each is replayed here
-   as an EXPECTED-FAILURE case — the test asserts the bug still
-   reproduces, so the flake is measurable instead of anecdotal, and the
-   session that fixes the translator must flip these assertions to
-   Clean.
+(* Regression corpus for the Proposition B / delete_edge bug that was
+   pinned here as expected-failures between the seed commit and the
+   translator fix (ROADMAP "Known bugs", DESIGN.md §15): the generator
+   seeds below used to make the random Proposition B property fail.
+
+   The root cause was [Translator.reaches_avoiding]'s hypothetical: it
+   excluded every path through the *whole* derivation source lineage of
+   the deleted edge's subclass end, so a legitimate alternate is-a route
+   through another view class (e.g. C1 -> C2 -> C6 -> C6') was treated
+   as "the deleted edge wearing an older name" and the translator
+   manufactured difference classes that contradicted the memberships its
+   own stitching implied. The GetPut law harness (test/test_lens.ml)
+   localized the disagreement to the translator side; the fix blocks
+   only version-to-version edges of the two endpoints. Seed 3153 pinned
+   a second bug on the same corpus: add_attribute propagation crashed on
+   a subclass that already inherited a same-named property along another
+   path. Each seed is now asserted to replay Clean — a reappearance of
+   either bug fails this suite.
 
    The replay duplicates test/test_property.ml's prop_view_independence
    body (including its random_change generator) verbatim: this binary is
    a separate executable and must stay in sync with it by hand.
 
-   The static analyzer runs over every failing schema and its
-   diagnostics are recorded: the corpus demonstrates that the bug is a
-   semantic derivation error (wrong membership after delete_edge), not
-   an ill-typed schema — the analyzer finds zero errors. *)
+   The static analyzer runs over every replayed schema and its
+   diagnostics are recorded: the corpus demonstrates the historical bug
+   was a semantic derivation error (wrong membership after delete_edge),
+   not an ill-typed schema — the analyzer finds zero errors.
+
+   Setting PROPB_SWEEP=N additionally replays seeds 0..N-1 and asserts
+   zero disagreements — the 10k-seed sweep of the acceptance criterion:
+
+     PROPB_SWEEP=10000 dune exec test/regression/test_regression.exe *)
 
 open Tse_store
 open Tse_schema
@@ -65,7 +81,7 @@ let random_change rng (rs : Random_schema.t) =
       }
 
 type outcome =
-  | Clean  (** Proposition B held: the bug no longer reproduces *)
+  | Clean  (** Proposition B held *)
   | Violation of string list
       (** property body returned false: fingerprint drift and/or
           consistency-oracle problems *)
@@ -104,10 +120,9 @@ let pp_outcome = function
   | Violation issues -> "violation: " ^ String.concat "; " issues
   | Crashed msg -> "crashed: " ^ msg
 
-(* The analyzer's verdict on the schema the failing replay left behind:
-   recorded (printed) for the corpus, and asserted error-free — the bug
-   is semantic, not a typing error the analyzer could have gated. *)
-let analyze_failing_schema seed (rs : Random_schema.t) =
+(* The analyzer's verdict on the schema the replay left behind: recorded
+   (printed) for the corpus, and asserted error-free. *)
+let analyze_replayed_schema seed (rs : Random_schema.t) =
   let report = Tse_analysis.Analysis.analyze (Database.graph rs.db) in
   Printf.printf "seed %d analyzer verdict: %d errors, %d warnings over %d \
                  classes / %d exprs\n"
@@ -121,61 +136,60 @@ let analyze_failing_schema seed (rs : Random_schema.t) =
       Printf.printf "  %s\n" (Format.asprintf "%a" Tse_analysis.Diagnostic.pp d))
     report.Tse_analysis.Analysis.diagnostics;
   Alcotest.(check int)
-    (Printf.sprintf "seed %d: failing schema has no analyzer errors" seed)
+    (Printf.sprintf "seed %d: replayed schema has no analyzer errors" seed)
     0
     (List.length (Tse_analysis.Analysis.errors report))
 
-let expect_violation seed () =
+let expect_clean seed () =
   let rs, outcome = replay seed in
   Printf.printf "seed %d: %s\n" seed (pp_outcome outcome);
   (match outcome with
-  | Violation _ -> ()
-  | Clean ->
-    Alcotest.failf
-      "seed %d no longer reproduces the Proposition B violation — the bug \
-       is fixed; update ROADMAP.md and flip this regression to expect Clean"
-      seed
-  | Crashed msg ->
-    Alcotest.failf "seed %d changed failure mode: crashed with %s" seed msg);
-  analyze_failing_schema seed rs
-
-let contains ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
-
-let expect_crash seed fragment () =
-  let rs, outcome = replay seed in
-  Printf.printf "seed %d: %s\n" seed (pp_outcome outcome);
-  (match outcome with
-  | Crashed msg ->
-    if not (contains ~needle:fragment msg) then
-      Alcotest.failf "seed %d crashed with %S (expected it to mention %S)"
-        seed msg fragment
-  | Clean ->
-    Alcotest.failf
-      "seed %d no longer crashes — the bug is fixed; update ROADMAP.md and \
-       flip this regression to expect Clean"
-      seed
+  | Clean -> ()
   | Violation issues ->
-    Alcotest.failf "seed %d changed failure mode: violation (%s)" seed
-      (String.concat "; " issues));
-  analyze_failing_schema seed rs
+    Alcotest.failf
+      "seed %d: the Proposition B violation is back (%s) — see DESIGN.md §15"
+      seed
+      (String.concat "; " issues)
+  | Crashed msg -> Alcotest.failf "seed %d crashed: %s" seed msg);
+  analyze_replayed_schema seed rs
+
+(* The full-corpus sweep of the acceptance criterion, gated behind
+   PROPB_SWEEP so `dune runtest` stays fast. *)
+let sweep n () =
+  let bad = ref [] in
+  for seed = 0 to n - 1 do
+    match replay seed with
+    | _, Clean -> ()
+    | _, outcome -> bad := (seed, pp_outcome outcome) :: !bad
+  done;
+  List.iter
+    (fun (seed, what) -> Printf.printf "seed %d: %s\n" seed what)
+    (List.rev !bad);
+  Alcotest.(check int)
+    (Printf.sprintf "disagreements over %d seeds" n)
+    0 (List.length !bad)
 
 let () =
-  Alcotest.run "tse-regression"
+  let corpus =
     [
-      ( "proposition-b-corpus",
-        [
-          Alcotest.test_case "seed 260 (delete_edge membership)" `Quick
-            (expect_violation 260);
-          Alcotest.test_case "seed 50 (delete_edge membership)" `Quick
-            (expect_violation 50);
-          Alcotest.test_case "seed 88 (delete_edge membership)" `Quick
-            (expect_violation 88);
-          Alcotest.test_case "seed 8041 (delete_edge membership)" `Quick
-            (expect_violation 8041);
-          Alcotest.test_case "seed 3153 (refine_from name collision)" `Quick
-            (expect_crash 3153 "already defined");
-        ] );
+      Alcotest.test_case "seed 260 (delete_edge membership)" `Quick
+        (expect_clean 260);
+      Alcotest.test_case "seed 50 (delete_edge membership)" `Quick
+        (expect_clean 50);
+      Alcotest.test_case "seed 88 (delete_edge membership)" `Quick
+        (expect_clean 88);
+      Alcotest.test_case "seed 8041 (delete_edge membership)" `Quick
+        (expect_clean 8041);
+      Alcotest.test_case "seed 3153 (refine_from name collision)" `Quick
+        (expect_clean 3153);
     ]
+  in
+  let sweep_cases =
+    match int_of_string_opt (try Sys.getenv "PROPB_SWEEP" with Not_found -> "")
+    with
+    | Some n when n > 0 ->
+      [ Alcotest.test_case (Printf.sprintf "sweep %d seeds" n) `Slow (sweep n) ]
+    | Some _ | None -> []
+  in
+  Alcotest.run "tse-regression"
+    [ ("proposition-b-corpus", corpus @ sweep_cases) ]

@@ -290,6 +290,11 @@ let ill_typed_changes =
         { cls = "Student";
           def = Change.attr ~default:(Value.Int 3) "flag" Value.TBool },
       "E108" );
+    ( "partition predicate constantly false (lens)",
+      Change.Partition_class
+        { cls = "Student"; predicate = Expr.bool false;
+          into_true = "Nobody"; into_false = "Everybody" },
+      "E123" );
   ]
 
 let test_gate_rejects_ill_typed () =
@@ -420,9 +425,167 @@ let test_report_json_shape () =
       "\"classes_checked\"" ]
 
 let test_diagnostic_ordering () =
+  (* subject-first: (class, prop), then code — so reports group by class
+     and are byte-stable regardless of emission order *)
   let w = Diagnostic.make Diagnostic.Warning ~code:"W201" "w" in
   let e = Diagnostic.make Diagnostic.Error ~code:"E104" "e" in
-  Alcotest.(check bool) "errors sort first" true (Diagnostic.compare e w < 0)
+  Alcotest.(check bool) "subjectless: lower code first" true
+    (Diagnostic.compare e w < 0);
+  let da = Diagnostic.make ~cls:"A" Diagnostic.Warning ~code:"W202" "w" in
+  let db_ = Diagnostic.make ~cls:"B" Diagnostic.Error ~code:"E101" "e" in
+  Alcotest.(check bool) "class A before class B, severity ignored" true
+    (Diagnostic.compare da db_ < 0);
+  let p1 = Diagnostic.make ~cls:"A" ~prop:"p" Diagnostic.Error ~code:"E104" "e" in
+  let p2 = Diagnostic.make ~cls:"A" ~prop:"q" Diagnostic.Error ~code:"E101" "e" in
+  Alcotest.(check bool) "prop p before prop q, code ignored" true
+    (Diagnostic.compare p1 p2 < 0)
+
+(* Diagnostics, facts and lens entries are each sorted, so two renderings
+   of the same logical schema are byte-identical even when the classes
+   were registered in a different order (hashtable iteration order and
+   TSE_DOMAINS sharding must not leak into reports). *)
+let test_report_byte_stability () =
+  let build order =
+    let g = mk_graph () in
+    let a = base_abc g in
+    let mk = function
+      | `Sel ->
+        ignore
+          (Schema_graph.register_virtual g ~name:"Sel"
+             (Klass.Select (a, Expr.(attr "i" >= int 5))) [])
+      | `Hid ->
+        ignore
+          (Schema_graph.register_virtual g ~name:"Hid"
+             (Klass.Hide ([ "s" ], a)) [])
+      | `Bad ->
+        Klass.add_local_prop (Schema_graph.find_exn g a)
+          (method_ "m" (Expr.attr "nope"))
+    in
+    List.iter mk order;
+    let r = Analysis.analyze g in
+    (Format.asprintf "%a" Analysis.pp_report r, Analysis.report_to_json r)
+  in
+  let t1, j1 = build [ `Sel; `Hid; `Bad ] in
+  let t2, j2 = build [ `Bad; `Hid; `Sel ] in
+  Alcotest.(check string) "text rendering byte-stable" t1 t2;
+  Alcotest.(check string) "json rendering byte-stable" j1 j2;
+  let t3, j3 = build [ `Sel; `Hid; `Bad ] in
+  Alcotest.(check string) "text rendering run-stable" t1 t3;
+  Alcotest.(check string) "json rendering run-stable" j1 j3
+
+(* ---------------- code exhaustiveness ---------------- *)
+
+(* Every code in the closed registry (Diagnostic.declared_codes) is
+   produced by at least one crafted scenario, and no scenario produces a
+   code outside the registry. *)
+let test_code_exhaustiveness () =
+  let produced = ref [] in
+  let note codes = produced := codes @ !produced in
+  (* expression typechecking + derivation lints, E101..E112/W201/W202 *)
+  let g1 = mk_graph () in
+  let a = base_abc g1 in
+  let k = Schema_graph.find_exn g1 a in
+  Klass.add_local_prop k (method_ "m_undef" (Expr.attr "nope"));
+  Klass.add_local_prop k (method_ "m_ghost" (Expr.In_class "Ghost"));
+  Klass.add_local_prop k
+    (method_ "m_arith" (Expr.Arith (Expr.Add, Expr.attr "s", Expr.int 1)));
+  Klass.add_local_prop k
+    (method_ "m_concat" (Expr.Concat (Expr.attr "i", Expr.str "x")));
+  Klass.add_local_prop k
+    (method_ "m_div" (Expr.Arith (Expr.Div, Expr.attr "i", Expr.int 0)));
+  Klass.add_local_prop k
+    (method_ "m_if" (Expr.If (Expr.bool true, Expr.int 1, Expr.int 2)));
+  ignore
+    (Schema_graph.register_virtual g1 ~name:"NonBool"
+       (Klass.Select (a, Expr.Arith (Expr.Add, Expr.int 1, Expr.int 2))) []);
+  ignore
+    (Schema_graph.register_virtual g1 ~name:"Invis"
+       (Klass.Select (a, Expr.(attr "zz" === int 1))) []);
+  note (codes (Analysis.analyze g1));
+  (* E102 (needs a conflict), E111 (cycle suppresses other codes), E110
+     (dangling source): separate graphs to avoid interference *)
+  let g2 = mk_graph () in
+  let p1 =
+    Schema_graph.register_base g2 ~name:"P1" ~props:[ stored "x" Value.TInt ]
+      ~supers:[]
+  in
+  let p2 =
+    Schema_graph.register_base g2 ~name:"P2" ~props:[ stored "x" Value.TInt ]
+      ~supers:[]
+  in
+  let c = Schema_graph.register_base g2 ~name:"C" ~props:[] ~supers:[ p1; p2 ] in
+  Klass.add_local_prop (Schema_graph.find_exn g2 c) (method_ "m" (Expr.attr "x"));
+  let kc = Schema_graph.find_exn g2 c in
+  Klass.add_local_prop kc (method_ "m1" (Expr.attr "m2"));
+  Klass.add_local_prop kc (method_ "m2" (Expr.attr "m1"));
+  note (codes (Analysis.analyze g2));
+  let g3 = mk_graph () in
+  let a3 = base_abc g3 in
+  ignore
+    (Schema_graph.register_virtual g3 ~name:"V"
+       (Klass.Select (a3, Expr.bool true)) []);
+  Schema_graph.remove g3 a3;
+  note (codes (Analysis.analyze g3));
+  (* gate-only codes: E108 (attribute default conformance), E123 on a
+     proposed partition, W212 on a proposed coalesce *)
+  let tsem = university_tsem () in
+  let db = Tsem.db tsem in
+  let view = Tsem.current tsem "V" in
+  let gate change =
+    note
+      (List.map (fun d -> d.Diagnostic.code) (Admission.check db view change))
+  in
+  gate
+    (Change.Add_attribute
+       { cls = "Student";
+         def = Change.attr ~default:(Value.Int 3) "flag" Value.TBool });
+  gate
+    (Change.Partition_class
+       { cls = "Student"; predicate = Expr.bool false; into_true = "T";
+         into_false = "F" });
+  gate (Change.Coalesce_classes { a = "Student"; b = "Staff"; as_name = "M" });
+  (* lens verdict codes over one crafted database: E120..E123, W210..W213 *)
+  let ldb = Database.create () in
+  let lg = Database.graph ldb in
+  let reg name props supers =
+    let cid = Schema_graph.register_base lg ~name ~props ~supers in
+    Database.note_new_class ldb cid;
+    cid
+  in
+  let b0 =
+    reg "B0"
+      [ stored "a" Value.TInt;
+        Prop.stored ~required:true ~origin "key" Value.TInt ]
+      []
+  in
+  let b1 = reg "B1" [ stored "a" Value.TInt ] [] in
+  let b2 = reg "B2" [ stored "c" Value.TInt ] [ b0 ] in
+  let module Ops = Tse_algebra.Ops in
+  ignore (Ops.select ldb ~name:"LSel" ~src:b0 Expr.(attr "a" >= int 5));
+  ignore (Ops.select ldb ~name:"LEmpty" ~src:b0 (Expr.bool false));
+  ignore (Ops.hide ldb ~name:"LHide" ~props:[ "key" ] ~src:b0);
+  ignore (Ops.union ldb ~name:"LUnion" b0 b1);
+  ignore (Ops.intersect ldb ~name:"LInter" b0 b1);
+  ignore (Ops.difference ldb ~name:"LDiff" b0 b1);
+  ignore (Ops.difference ldb ~name:"LDiffEmpty" b2 b0);
+  note
+    (List.map
+       (fun d -> d.Diagnostic.code)
+       (Tse_analysis.Lens.diagnostics (Tse_analysis.Lens.analyze lg)));
+  let produced = List.sort_uniq String.compare !produced in
+  let declared = List.map fst Diagnostic.declared_codes in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "declared code %s is produced by some check" code)
+        true (List.mem code produced))
+    declared;
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "produced code %s is declared" code)
+        true (List.mem code declared))
+    produced
 
 (* ---------------- the qcheck property ---------------- *)
 
@@ -444,8 +607,7 @@ let prop_reachable_schemas_clean =
       for _ = 1 to 5 do
         try ignore (Tsem.evolve tsem ~view:"V" (Test_property.random_change rng rs))
         with Change.Rejected _ | Invalid_argument _ | Failure _ ->
-          (* translator precondition rejections, plus the known
-             ROADMAP delete_edge/refine_from bugs — either way the
+          (* translator precondition rejections — either way the
              schema we are left with must still analyze clean *)
           ()
       done;
@@ -488,5 +650,9 @@ let suite =
     Alcotest.test_case "TSE_ANALYZE parsing" `Quick test_policy_of_string;
     Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
     Alcotest.test_case "diagnostic ordering" `Quick test_diagnostic_ordering;
+    Alcotest.test_case "report renderings are byte-stable" `Quick
+      test_report_byte_stability;
+    Alcotest.test_case "every declared code is produced" `Quick
+      test_code_exhaustiveness;
     Qcheck_det.to_alcotest prop_reachable_schemas_clean;
   ]

@@ -3,6 +3,7 @@ let () =
     [
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("lens", Test_lens.suite);
       ("store", Test_store.suite);
       ("schema", Test_schema.suite);
       ("objmodel", Test_objmodel.suite);
